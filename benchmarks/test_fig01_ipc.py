@@ -1,0 +1,13 @@
+"""Figure 1: IPC of graph workloads on the baseline system."""
+
+from benchmarks.conftest import run_and_render
+from repro.harness import run_experiment
+
+
+def test_fig01_ipc(benchmark, scale):
+    result = run_and_render(
+        benchmark, lambda: run_experiment("fig01", scale=scale)
+    )
+    # Paper shape: GT workloads suffer the most; RP runs much better.
+    assert result.metrics["mean_ipc_GT"] < 0.2
+    assert result.metrics["mean_ipc_RP"] > result.metrics["mean_ipc_GT"]

@@ -1,0 +1,15 @@
+"""Figure 2: cycle breakdown and cache MPKI on the baseline system."""
+
+from benchmarks.conftest import run_and_render
+from repro.harness import run_experiment
+
+
+def test_fig02_breakdown_mpki(benchmark, scale):
+    result = run_and_render(
+        benchmark, lambda: run_experiment("fig02", scale=scale)
+    )
+    # Paper shape: graph computing is overwhelmingly backend bound.
+    assert result.metrics["mean_backend"] > 0.6
+    # L1 MPKI exceeds L3 MPKI for every workload (filtering hierarchy).
+    for row in result.rows:
+        assert row[5] >= row[7]

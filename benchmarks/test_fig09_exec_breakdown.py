@@ -1,0 +1,28 @@
+"""Figure 9: breakdown of normalized execution time."""
+
+from benchmarks.conftest import run_and_render
+from repro.harness import run_experiment
+
+
+def test_fig09_exec_breakdown(benchmark, scale):
+    result = run_and_render(
+        benchmark, lambda: run_experiment("fig09", scale=scale)
+    )
+    baseline = {
+        row[0]: row for row in result.rows if row[1] == "Baseline"
+    }
+    graphpim = {
+        row[0]: row for row in result.rows if row[1] == "GraphPIM"
+    }
+    # Paper shape: in the baseline, atomic-dense workloads spend >50% of
+    # their time in atomic instructions, dominated by the in-core part.
+    for code in ("BFS", "CComp", "DC", "PRank"):
+        atomic_share = baseline[code][3] + baseline[code][4]
+        assert atomic_share > 0.5, code
+        assert baseline[code][3] > baseline[code][4], code  # inCore > inCache
+    # kCore and TC have little atomic time.
+    for code in ("kCore", "TC"):
+        assert baseline[code][3] + baseline[code][4] < 0.45, code
+    # GraphPIM eliminates host atomic overhead entirely.
+    for code, row in graphpim.items():
+        assert row[3] == 0.0 and row[4] == 0.0, code

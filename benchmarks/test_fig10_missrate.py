@@ -1,0 +1,19 @@
+"""Figure 10: cache miss rate of offloading candidates."""
+
+from benchmarks.conftest import run_and_render
+from repro.harness import run_experiment
+
+
+def test_fig10_missrate(benchmark, scale):
+    result = run_and_render(
+        benchmark, lambda: run_experiment("fig10", scale=scale)
+    )
+    rates = {row[0]: row[1] for row in result.rows}
+    # Paper shape: the traversal kernels' candidates overwhelmingly miss
+    # (>80% in the paper); kCore, TC, and BC show more locality.  Tiny
+    # graphs partially fit in the cache, lowering all rates together.
+    floor = 0.3 if scale == "tiny" else 0.6
+    assert result.metrics["mean_high_locality_free"] > floor
+    high = result.metrics["mean_high_locality_free"]
+    assert rates["kCore"] < high
+    assert rates["BC"] < high

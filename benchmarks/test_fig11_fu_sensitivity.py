@@ -1,0 +1,17 @@
+"""Figure 11: speedup vs number of PIM functional units per vault."""
+
+from benchmarks.conftest import run_and_render
+from repro.harness import run_experiment
+
+
+def test_fig11_fu_sensitivity(benchmark, scale):
+    result = run_and_render(
+        benchmark, lambda: run_experiment("fig11", scale=scale)
+    )
+    # Paper: "no noticeable performance impact with a different number
+    # of FUs — even with only one FU in each vault".
+    assert result.metrics["max_speedup_spread"] < 0.25
+    # Within each workload, 1 FU is within a few percent of 16 FUs.
+    for row in result.rows:
+        one_fu, sixteen_fu = row[1], row[-1]
+        assert abs(one_fu - sixteen_fu) / sixteen_fu < 0.15, row[0]

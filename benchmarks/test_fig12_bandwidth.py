@@ -1,0 +1,25 @@
+"""Figure 12: normalized bandwidth consumption (request/response)."""
+
+from benchmarks.conftest import run_and_render
+from repro.harness import run_experiment
+
+
+def test_fig12_bandwidth(benchmark, scale):
+    result = run_and_render(
+        benchmark, lambda: run_experiment("fig12", scale=scale)
+    )
+    graphpim = {
+        row[0]: row for row in result.rows if row[1] == "GraphPIM"
+    }
+    baseline = {
+        row[0]: row for row in result.rows if row[1] == "Baseline"
+    }
+    # Paper shape: ~30% total reduction for the atomic-dense kernels,
+    # with most of the savings on the response side.
+    for code in ("BFS", "CComp", "DC", "PRank"):
+        assert graphpim[code][4] < 0.85, code
+        response_saving = baseline[code][3] - graphpim[code][3]
+        request_saving = baseline[code][2] - graphpim[code][2]
+        assert response_saving > request_saving, code
+    # kCore/TC see little benefit (few offloaded operations).
+    assert graphpim["TC"][4] > 0.9

@@ -1,0 +1,16 @@
+"""Figure 13: speedup with different HMC link bandwidth."""
+
+from benchmarks.conftest import run_and_render
+from repro.harness import run_experiment
+
+
+def test_fig13_link_bandwidth(benchmark, scale):
+    result = run_and_render(
+        benchmark, lambda: run_experiment("fig13", scale=scale)
+    )
+    # Paper: "graph workloads are insensitive to bandwidth variations" —
+    # halving or doubling the links barely moves either system.
+    assert result.metrics["max_bandwidth_spread"] < 0.35
+    for row in result.rows:
+        base_half, base_one, base_two = row[1], row[2], row[3]
+        assert abs(base_half - base_two) / base_one < 0.25, row[0]

@@ -1,0 +1,24 @@
+"""Figure 14: sensitivity to graph size (GraphPIM vs U-PEI, speedups)."""
+
+from benchmarks.conftest import run_and_render
+from repro.harness import run_experiment
+
+
+def test_fig14_graph_size(benchmark, scale):
+    result = run_and_render(
+        benchmark, lambda: run_experiment("fig14", scale=scale)
+    )
+    # Paper shape: the benefit of cache bypassing over U-PEI shrinks (or
+    # inverts) for graphs small enough to fit in the LLC, and grows with
+    # graph size.
+    assert (
+        result.metrics["mean_improvement_largest"]
+        > result.metrics["mean_improvement_smallest"]
+    )
+    # Overall GraphPIM speedup stays in a sane band for the largest size
+    # (atomic savings are size-insensitive).
+    sizes = sorted(set(result.column("vertices")))
+    largest = [row for row in result.rows if row[1] == sizes[-1]]
+    for row in largest:
+        if row[0] in ("BFS", "DC", "PRank"):
+            assert row[3] > 1.3, row[0]

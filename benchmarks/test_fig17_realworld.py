@@ -1,0 +1,16 @@
+"""Figure 17: real-world application performance and energy."""
+
+from benchmarks.conftest import run_and_render
+from repro.harness import run_experiment
+
+
+def test_fig17_realworld(benchmark, scale):
+    result = run_and_render(
+        benchmark, lambda: run_experiment("fig17", scale=scale)
+    )
+    rows = {row[0]: row for row in result.rows}
+    # Paper: FD 1.5x, RS 1.9x; 32% / 48% energy reduction.  Shape check:
+    # both applications benefit in performance and energy.
+    for code in ("FD", "RS"):
+        assert rows[code][1] > 1.1, code  # simulated speedup
+        assert result.metrics[f"{code}_energy_reduction"] > 0.05, code

@@ -1,0 +1,16 @@
+"""Table II: summary of PIM offloading targets."""
+
+from benchmarks.conftest import run_and_render
+from repro.harness import run_experiment
+
+
+def test_tab02_offload_targets(benchmark):
+    result = run_and_render(benchmark, lambda: run_experiment("tab02"))
+    rows = {row[0]: row for row in result.rows}
+    # Paper Table II rows.
+    assert rows["Breadth-first search"][1] == "lock cmpxchg"
+    assert rows["Breadth-first search"][2] == "CAS if equal"
+    assert rows["Degree centrality"][1] == "lock addw"
+    assert rows["K-core decomposition"][1] == "lock subw"
+    assert rows["Connected component"][2] == "CAS if equal"
+    assert rows["Triangle count"][2] == "Signed add"

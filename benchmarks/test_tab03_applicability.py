@@ -1,0 +1,16 @@
+"""Table III: PIM-Atomic applicability with GraphBIG workloads."""
+
+from benchmarks.conftest import run_and_render
+from repro.harness import run_experiment
+
+
+def test_tab03_applicability(benchmark):
+    result = run_and_render(benchmark, lambda: run_experiment("tab03"))
+    # Paper: 7 of 13 workloads map onto base HMC 2.0 atomics; BC and
+    # PRank need the FP extension; DG workloads need complex ops.
+    assert result.metrics["applicable"] == 7
+    rows = {row[1]: row for row in result.rows}
+    assert rows["Page rank"][2] == "no"
+    assert "Floating point add" in rows["Page rank"][3]
+    assert rows["Graph construction"][3].startswith("Complex operation")
+    assert rows["Gibbs inference"][3].startswith("Computation intensive")

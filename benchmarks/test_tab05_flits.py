@@ -1,0 +1,15 @@
+"""Table V: HMC transaction FLIT costs."""
+
+from benchmarks.conftest import run_and_render
+from repro.harness import run_experiment
+
+
+def test_tab05_flits(benchmark):
+    result = run_and_render(benchmark, lambda: run_experiment("tab05"))
+    table = {row[0]: (row[1], row[2]) for row in result.rows}
+    assert table["64-byte READ"] == (1, 5)
+    assert table["64-byte WRITE"] == (5, 1)
+    assert table["add without return"] == (2, 1)
+    assert table["add with return"] == (2, 2)
+    assert table["boolean/bitwise/CAS"] == (2, 2)
+    assert table["compare if equal"] == (2, 1)

@@ -1,0 +1,17 @@
+"""Table VI: the scaled LDBC dataset family."""
+
+from benchmarks.conftest import run_and_render
+from repro.harness import run_experiment
+
+
+def test_tab06_datasets(benchmark):
+    result = run_and_render(benchmark, lambda: run_experiment("tab06"))
+    vertices = result.column("vertices")
+    edges = result.column("edges")
+    footprints = result.column("footprint_MB")
+    # Geometric family: each size a fixed multiple of the previous,
+    # edges and footprint growing with it (paper's 1k..1M shape).
+    assert vertices == sorted(vertices)
+    assert edges == sorted(edges)
+    assert footprints == sorted(footprints)
+    assert vertices[-1] / vertices[0] >= 16

@@ -1,0 +1,22 @@
+"""Table VIII: real-world application experiment results."""
+
+from benchmarks.conftest import run_and_render
+from repro.harness import run_experiment
+
+
+def test_tab08_realworld_counters(benchmark, scale):
+    result = run_and_render(
+        benchmark, lambda: run_experiment("tab08", scale=scale)
+    )
+    rows = {row[0]: row for row in result.rows}
+    for code in ("FD", "RS"):
+        ipc, mpki, hit_rate, backend = rows[code][1:5]
+        # Paper shape: very low IPC, high LLC MPKI, low LLC hit rate,
+        # backend-dominated execution.
+        assert ipc < 0.3, code
+        assert mpki > 5, code
+        assert hit_rate < 0.9, code
+        assert backend > 0.6, code
+    # Both apps have a small-but-present PIM-atomic fraction.
+    for code in ("FD", "RS"):
+        assert 0.0 < result.metrics[f"{code}_pim_fraction"] < 0.2

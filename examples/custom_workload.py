@@ -1,0 +1,103 @@
+"""Authoring a new workload against the framework API.
+
+Run with::
+
+    python examples/custom_workload.py
+
+Shows the extension path a downstream user takes: implement a
+``Workload`` whose property updates go through the traced atomic
+primitives, and the whole evaluation stack (offload analysis, three
+system modes, energy) works on it unchanged.
+
+The example workload is *label spreading* — a semi-supervised
+classifier where a few seed vertices push their labels outward and
+conflicts are resolved by an atomic max on (votes, label) packed
+values.
+"""
+
+import numpy as np
+
+from repro.core.api import GraphPimSystem
+from repro.framework.context import FrameworkContext
+from repro.graph import ldbc_like_graph
+from repro.graph.csr import CsrGraph
+from repro.trace.events import AtomicOp
+from repro.workloads.base import Category, Workload
+
+
+class LabelSpreading(Workload):
+    """Seeded label propagation with atomic-max conflict resolution."""
+
+    code = "LSpread"
+    name = "Label spreading"
+    category = Category.GRAPH_TRAVERSAL
+    host_instruction = "lock cmpxchg (max loop)"
+    pim_op = AtomicOp.MAX
+    applicable = True
+
+    def execute(self, ctx: FrameworkContext, graph: CsrGraph, seeds=None):
+        if seeds is None:
+            order = np.argsort(-graph.out_degrees())
+            seeds = {int(order[i]): i + 1 for i in range(4)}
+        tg = ctx.register_graph(graph)
+        n = graph.num_vertices
+        # Packed (strength << 8 | label) so one atomic max carries both.
+        state = ctx.property_table("ls.state", n, 0)
+
+        trace0 = ctx.threads[0]
+        for vertex, label in seeds.items():
+            state.write(trace0, vertex, (255 << 8) | label)
+        ctx.barrier()
+
+        frontier = list(seeds)
+        rounds = 0
+        while frontier and rounds < 30:
+            updated = []
+
+            def spread(tid, trace, u):
+                trace.work(4)
+                packed = state.read(trace, u)
+                strength, label = packed >> 8, packed & 0xFF
+                if strength <= 1:
+                    return
+                candidate = ((strength - 1) << 8) | label
+                for v in tg.neighbors(trace, u):
+                    if state.atomic_max(trace, v, candidate):
+                        updated.append(v)
+
+            ctx.parallel_for(frontier, spread)
+            frontier = list(dict.fromkeys(updated))
+            rounds += 1
+
+        labels = state.values & 0xFF
+        return {
+            "labels": labels,
+            "labeled": int(np.count_nonzero(labels)),
+            "rounds": rounds,
+        }
+
+
+def main() -> None:
+    graph = ldbc_like_graph(2_000, seed=7)
+    print(f"Graph: {graph}")
+
+    workload = LabelSpreading()
+    run = workload.run(graph, num_threads=16)
+    print(
+        f"Labeled {run.outputs['labeled']} / {graph.num_vertices} vertices "
+        f"in {run.outputs['rounds']} rounds"
+    )
+    stats = run.stats
+    print(
+        f"Trace: {run.trace.num_events} events, {stats.atomics} atomics "
+        f"({stats.property_atomics} PIM candidates — "
+        f"atomic max maps to HMC 'CAS if greater')"
+    )
+
+    report = GraphPimSystem(num_threads=16).evaluate_trace(run)
+    print()
+    print(report.summary())
+
+
+if __name__ == "__main__":
+    main()

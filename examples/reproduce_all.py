@@ -1,0 +1,74 @@
+"""Regenerate every table and figure of the paper's evaluation.
+
+Run with::
+
+    python examples/reproduce_all.py [tiny|small|paper] [experiment ...]
+
+With no experiment arguments, runs the full index from DESIGN.md.
+``tiny`` finishes in a couple of minutes; ``small`` (default) matches
+the numbers recorded in EXPERIMENTS.md; ``paper`` is the calibration
+scale (slow).
+"""
+
+import sys
+import time
+
+from repro.harness import EXPERIMENTS, get_experiment, run_experiment
+from repro.harness.charts import bar_chart
+
+DEFAULT_ORDER = [
+    "fig01", "fig02", "fig04",
+    "tab02", "tab03", "tab05", "tab06",
+    "fig07", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "fig15", "fig16", "tab08", "fig17",
+]
+
+#: Experiments that take no scale argument (static tables).
+STATIC = {"tab02", "tab03", "tab05", "tab06"}
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    scale = "small"
+    if args and args[0] in ("tiny", "small", "paper"):
+        scale = args.pop(0)
+    get_experiment("fig07")  # force registry load
+    experiments = args or DEFAULT_ORDER
+    unknown = [e for e in experiments if e not in EXPERIMENTS]
+    if unknown:
+        raise SystemExit(f"unknown experiments: {unknown}")
+
+    print(f"Reproducing {len(experiments)} artifacts at scale={scale!r}\n")
+    total_start = time.time()
+    for experiment_id in experiments:
+        start = time.time()
+        if experiment_id in STATIC:
+            result = run_experiment(experiment_id)
+        else:
+            result = run_experiment(experiment_id, scale=scale)
+        print(result.render())
+        if experiment_id == "fig07":
+            print()
+            print(
+                bar_chart(
+                    result.column("workload"),
+                    result.column("GraphPIM"),
+                    title="GraphPIM speedup over baseline (· = 1.0x)",
+                    reference=1.0,
+                )
+            )
+        elif experiment_id == "fig10":
+            print()
+            print(
+                bar_chart(
+                    result.column("workload"),
+                    result.column("llc_miss_rate"),
+                    title="offload-candidate LLC miss rate",
+                )
+            )
+        print(f"  ({time.time() - start:.1f}s)\n")
+    print(f"Done in {time.time() - total_start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

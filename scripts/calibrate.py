@@ -1,0 +1,59 @@
+"""Calibration harness: prints the Figure 7 / 9 / 10 shape for quick tuning.
+
+Usage: python scripts/calibrate.py [num_vertices]
+"""
+
+import sys
+import time
+
+from repro.graph import ldbc_like_graph
+from repro.sim import SystemConfig, simulate
+from repro.workloads import get_workload
+
+#: Paper targets (Figure 7) for reference printing.
+PAPER_SPEEDUP = {
+    "BFS": 2.3, "CComp": 2.2, "DC": 2.1, "kCore": 1.05,
+    "SSSP": 1.8, "TC": 1.05, "BC": 1.2, "PRank": 2.4,
+}
+PAPER_UPEI = {
+    "BFS": 1.9, "CComp": 1.8, "DC": 1.55, "kCore": 1.05,
+    "SSSP": 1.5, "TC": 1.05, "BC": 1.3, "PRank": 2.0,
+}
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 4000
+    g = ldbc_like_graph(n, seed=7)
+    gw = ldbc_like_graph(n, seed=7, weighted=True)
+    print(f"graph: {g}")
+    header = (
+        f"{'wl':7s} {'IPC':>6s} {'UPEI':>5s} {'GPIM':>5s} "
+        f"{'p7-U':>5s} {'p7-G':>5s} {'miss':>5s} {'aic':>5s} {'aca':>5s} {'sec':>5s}"
+    )
+    print(header)
+    for code in ["BFS", "CComp", "DC", "kCore", "SSSP", "TC", "BC", "PRank"]:
+        graph = gw if code == "SSSP" else g
+        kw = {}
+        if code == "BC":
+            kw = {"num_sources": 2}
+        elif code == "TC":
+            kw = {"max_degree": 48, "sample_fraction": 0.2}
+        t0 = time.time()
+        run = get_workload(code).run(graph, num_threads=16, **kw)
+        res = {}
+        for cfg in SystemConfig().evaluation_trio():
+            res[cfg.display_name] = simulate(run.trace, cfg)
+        b = res["Baseline"]
+        bd = b.execution_breakdown()
+        print(
+            f"{code:7s} {b.ipc:6.3f} {res['U-PEI'].speedup_over(b):5.2f} "
+            f"{res['GraphPIM'].speedup_over(b):5.2f} "
+            f"{PAPER_UPEI[code]:5.2f} {PAPER_SPEEDUP[code]:5.2f} "
+            f"{b.candidate_miss_rate():5.2f} "
+            f"{bd['Atomic-inCore']:5.2f} {bd['Atomic-inCache']:5.2f} "
+            f"{time.time() - t0:5.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

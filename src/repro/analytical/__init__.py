@@ -1,0 +1,26 @@
+"""The paper's analytical CPI model (Section IV-B5, Equations 1-2)."""
+
+from repro.analytical.model import (
+    AnalyticalInputs,
+    baseline_cpi,
+    graphpim_cpi,
+    inputs_from_counters,
+    inputs_from_simulation,
+    nominal_hmc_read_latency,
+    nominal_pim_latency,
+    predicted_speedup,
+)
+from repro.analytical.validation import ValidationRow, validate_against_simulation
+
+__all__ = [
+    "AnalyticalInputs",
+    "ValidationRow",
+    "baseline_cpi",
+    "graphpim_cpi",
+    "inputs_from_counters",
+    "inputs_from_simulation",
+    "nominal_hmc_read_latency",
+    "nominal_pim_latency",
+    "predicted_speedup",
+    "validate_against_simulation",
+]

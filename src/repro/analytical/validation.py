@@ -1,0 +1,55 @@
+"""Model-vs-simulation validation (Figure 16).
+
+The paper validates the analytical model by comparing its speedup
+predictions against architectural simulation for every workload,
+reporting a 7.72% average error.  :func:`validate_against_simulation`
+performs the same comparison on our stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analytical.model import (
+    inputs_from_simulation,
+    predicted_speedup,
+)
+from repro.sim.system import SimResult
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    """One workload's model-vs-simulation comparison."""
+
+    workload: str
+    simulated_speedup: float
+    modeled_speedup: float
+
+    @property
+    def error(self) -> float:
+        """Relative error of the model against simulation."""
+        return abs(self.modeled_speedup - self.simulated_speedup) / (
+            self.simulated_speedup
+        )
+
+
+def validate_against_simulation(
+    workload: str,
+    baseline: SimResult,
+    graphpim: SimResult,
+    overlap: float = 0.0,
+) -> ValidationRow:
+    """Compare the analytical prediction with the simulated speedup."""
+    inputs = inputs_from_simulation(baseline, overlap=overlap)
+    return ValidationRow(
+        workload=workload,
+        simulated_speedup=graphpim.speedup_over(baseline),
+        modeled_speedup=predicted_speedup(inputs),
+    )
+
+
+def average_error(rows: list[ValidationRow]) -> float:
+    """Mean relative error across workloads (paper: 7.72%)."""
+    if not rows:
+        return 0.0
+    return sum(row.error for row in rows) / len(rows)

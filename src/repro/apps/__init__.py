@@ -1,0 +1,21 @@
+"""Real-world applications (Section IV-B5): fraud detection, recommender.
+
+The paper evaluates two large-scale applications — graph-based
+financial fraud detection on a Bitcoin transaction graph and an
+item-to-item collaborative-filtering recommender on a Twitter graph —
+via hardware counters plus the analytical model, because the inputs
+exceed simulation capacity.  We build both applications on the same
+framework as the benchmark workloads and run them on scaled-down
+synthetic equivalents of the two graphs.
+"""
+
+from repro.apps.datasets import bitcoin_like_graph, twitter_like_graph
+from repro.apps.fraud import FraudDetection
+from repro.apps.recommender import RecommenderSystem
+
+__all__ = [
+    "FraudDetection",
+    "RecommenderSystem",
+    "bitcoin_like_graph",
+    "twitter_like_graph",
+]

@@ -1,0 +1,92 @@
+"""Synthetic stand-ins for the paper's Bitcoin and Twitter graphs.
+
+The originals (71.7M-vertex Bitcoin transaction graph, 11M-vertex
+Twitter follower graph) are proprietary-scale downloads; we generate
+graphs with the same structural signatures at laptop scale:
+
+- **Bitcoin-like**: transaction graph — heavy-tailed degree (exchanges
+  and mixers), many small strongly-clustered rings (the fraud patterns
+  FD hunts for), low reciprocity.
+- **Twitter-like**: follower graph — extreme popularity skew
+  (celebrities), high reciprocity inside communities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import DeterministicRng
+from repro.graph.csr import CsrGraph
+from repro.graph.generators import ldbc_like_graph
+
+
+def bitcoin_like_graph(
+    num_vertices: int = 3_000,
+    seed: int = 11,
+    ring_count: int | None = None,
+    ring_size: int = 6,
+) -> CsrGraph:
+    """A transaction graph with planted fraud rings.
+
+    Most edges follow a heavy-tailed transaction pattern; on top of it,
+    ``ring_count`` cycles of length ``ring_size`` are planted (money
+    moving in a loop — the structure fraud detection uncovers).
+    Vertex ids of ring members are recoverable from the seed, so tests
+    can check FD actually flags them.
+    """
+    base = ldbc_like_graph(
+        num_vertices,
+        seed=seed,
+        avg_degree=5.0,
+        alpha=0.7,
+        community_fraction=0.3,
+        fringe_fraction=0.3,
+    )
+    rng = DeterministicRng(seed).fork("bitcoin-rings", num_vertices)
+    if ring_count is None:
+        ring_count = max(2, num_vertices // 300)
+
+    extra_edges = []
+    for ring in range(ring_count):
+        members = rng.choice(num_vertices, size=ring_size, replace=False)
+        for i in range(ring_size):
+            extra_edges.append(
+                (int(members[i]), int(members[(i + 1) % ring_size]))
+            )
+
+    src = np.repeat(np.arange(num_vertices), base.out_degrees())
+    all_edges = np.vstack(
+        [
+            np.column_stack([src, base.columns]),
+            np.asarray(extra_edges, dtype=np.int64),
+        ]
+    )
+    return CsrGraph.from_edges(num_vertices, all_edges, deduplicate=True)
+
+
+def planted_ring_members(
+    num_vertices: int, seed: int = 11, ring_count: int | None = None,
+    ring_size: int = 6,
+) -> list[list[int]]:
+    """The ring memberships :func:`bitcoin_like_graph` planted."""
+    rng = DeterministicRng(seed).fork("bitcoin-rings", num_vertices)
+    if ring_count is None:
+        ring_count = max(2, num_vertices // 300)
+    return [
+        [int(v) for v in rng.choice(num_vertices, size=ring_size, replace=False)]
+        for _ in range(ring_count)
+    ]
+
+
+def twitter_like_graph(num_vertices: int = 3_000, seed: int = 13) -> CsrGraph:
+    """A follower graph with celebrity-grade popularity skew."""
+    return ldbc_like_graph(
+        num_vertices,
+        seed=seed,
+        avg_degree=8.0,
+        alpha=0.85,
+        community_fraction=0.6,
+        community_size=32,
+        max_degree_fraction=0.05,
+        fringe_fraction=0.35,
+    )

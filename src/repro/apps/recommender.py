@@ -1,0 +1,112 @@
+"""Recommender system (RS, Section IV-B5).
+
+Item-to-item collaborative filtering [39], the method the paper cites
+from the Amazon recommender [2], applied to a follower graph: two
+accounts are "similar" when many users follow both, and
+recommendations for a user are the accounts most similar to those they
+already follow.
+
+The pipeline is dominated by co-occurrence counting — an atomic
+increment per (follower, followee-pair) sample — which is why RS gets
+the larger PIM benefit of the two applications (Figure 17).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.framework.context import FrameworkContext
+from repro.graph.csr import CsrGraph
+from repro.trace.events import AtomicOp
+from repro.workloads.base import Category, Workload
+
+
+class RecommenderSystem(Workload):
+    """Item-to-item collaborative filtering over a follower graph."""
+
+    code = "RS"
+    name = "Recommender system"
+    category = Category.GRAPH_TRAVERSAL
+    host_instruction = "lock add"
+    pim_op = AtomicOp.ADD
+    applicable = True
+
+    #: Arithmetic per similarity normalization.
+    SIMILARITY_WORK = 24
+    #: Followee pairs sampled per user (bounds the quadratic blowup the
+    #: same way production co-occurrence pipelines do).
+    PAIRS_PER_USER = 8
+
+    def execute(
+        self,
+        ctx: FrameworkContext,
+        graph: CsrGraph,
+        top_k: int = 4,
+    ) -> dict:
+        tg = ctx.register_graph(graph)
+        n = graph.num_vertices
+        # Co-occurrence accumulators, hashed into a fixed-size table of
+        # per-item counters (item-pair -> bucket).
+        cooccur = ctx.property_table("rs.cooccur", n, 0)
+        popularity = ctx.property_table("rs.popularity", n, 0)
+        similarity = ctx.property_table(
+            "rs.similarity", n, 0.0, dtype=np.float64
+        )
+        users = list(range(n))
+
+        # Phase 1: popularity counting (atomic add per follow edge).
+        def count_popularity(tid, trace, u):
+            trace.work(2)
+            for v in tg.neighbors(trace, u):
+                popularity.fetch_add(trace, v, 1)
+
+        ctx.parallel_for(users, count_popularity)
+
+        # Phase 2: co-occurrence counting over sampled followee pairs.
+        pair_log: list[tuple[int, int]] = []
+
+        def count_cooccurrence(tid, trace, u):
+            trace.work(4)
+            followees = [v for v in tg.neighbors(trace, u)]
+            limit = min(len(followees) - 1, self.PAIRS_PER_USER)
+            for i in range(limit):
+                a, b = followees[i], followees[i + 1]
+                bucket = (a * 31 + b) % len(cooccur.values)
+                trace.work(3)  # hash
+                cooccur.fetch_add(trace, bucket, 1)
+                pair_log.append((a, b))
+
+        ctx.parallel_for(users, count_cooccurrence)
+
+        # Phase 3: similarity normalization (compute-heavy, non-atomic).
+        def normalize(tid, trace, item):
+            trace.work(self.SIMILARITY_WORK)
+            raw = cooccur.read(trace, item)
+            pop = popularity.read(trace, item)
+            similarity.write(
+                trace, item, float(raw) / float(max(int(pop), 1))
+            )
+
+        ctx.parallel_for(users, normalize)
+
+        # Phase 4: top-k recommendation extraction per sampled user.
+        sims = similarity.values
+        sample_users = users[:: max(1, n // 64)]
+        recommendations = {}
+        for u in sample_users:
+            trace = ctx.threads[u % ctx.num_threads]
+            trace.work(8)
+            followed = [v for v in tg.neighbors(trace, u)]
+            if not followed:
+                continue
+            ranked = sorted(
+                followed, key=lambda v: (-sims[v], v)
+            )[:top_k]
+            recommendations[u] = ranked
+        ctx.barrier()
+
+        return {
+            "recommendations": recommendations,
+            "pairs_counted": len(pair_log),
+            "similarity": sims.copy(),
+        }

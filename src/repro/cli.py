@@ -1,0 +1,156 @@
+"""Command-line interface.
+
+::
+
+    python -m repro workloads
+    python -m repro run BFS --vertices 2000 --threads 16
+    python -m repro trace DC --vertices 2000 -o dc.npz
+    python -m repro simulate dc.npz --mode graphpim
+    python -m repro experiment fig07 --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.api import GraphPimSystem
+from repro.core.presets import workload_params
+from repro.graph.generators import ldbc_like_graph
+from repro.sim.config import Mode, SystemConfig
+from repro.sim.system import simulate
+from repro.trace.io import load_trace, save_trace
+from repro.workloads.registry import all_workloads, get_workload
+
+_MODE_CTORS = {
+    "baseline": SystemConfig.baseline,
+    "upei": SystemConfig.upei,
+    "graphpim": SystemConfig.graphpim,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GraphPIM (HPCA 2017) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list the GraphBIG workloads")
+
+    run = sub.add_parser(
+        "run", help="trace a workload and simulate all three systems"
+    )
+    run.add_argument("workload", help="workload code, e.g. BFS")
+    run.add_argument("--vertices", type=int, default=2_000)
+    run.add_argument("--threads", type=int, default=16)
+    run.add_argument("--seed", type=int, default=7)
+
+    trace = sub.add_parser("trace", help="trace a workload to a .npz file")
+    trace.add_argument("workload")
+    trace.add_argument("--vertices", type=int, default=2_000)
+    trace.add_argument("--threads", type=int, default=16)
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("-o", "--output", required=True)
+
+    sim = sub.add_parser("simulate", help="replay a saved trace")
+    sim.add_argument("trace_file")
+    sim.add_argument(
+        "--mode", choices=sorted(_MODE_CTORS), default="graphpim"
+    )
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument("experiment_id", help="e.g. fig07 or tab03")
+    experiment.add_argument(
+        "--scale", choices=("tiny", "small", "paper"), default="small"
+    )
+    return parser
+
+
+def _cmd_workloads(_args) -> int:
+    print(f"{'code':8s} {'category':8s} {'applicable':10s} name")
+    for workload in all_workloads():
+        applicable = "yes" if workload.applicable else "no"
+        if workload.needs_fp_extension:
+            applicable = "fp-ext"
+        print(
+            f"{workload.code:8s} {workload.category.value:8s} "
+            f"{applicable:10s} {workload.name}"
+        )
+    return 0
+
+
+def _make_graph(args):
+    weighted = args.workload == "SSSP"
+    return ldbc_like_graph(args.vertices, seed=args.seed, weighted=weighted)
+
+
+def _cmd_run(args) -> int:
+    get_workload(args.workload)  # fail fast on unknown codes
+    graph = _make_graph(args)
+    system = GraphPimSystem(num_threads=args.threads)
+    report = system.evaluate(
+        args.workload, graph, **workload_params(args.workload)
+    )
+    print(report.summary())
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    workload = get_workload(args.workload)
+    graph = _make_graph(args)
+    run = workload.run(
+        graph, num_threads=args.threads, **workload_params(args.workload)
+    )
+    save_trace(run.trace, args.output)
+    print(
+        f"wrote {run.trace.num_events} events "
+        f"({run.trace.num_threads} threads) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    trace = load_trace(args.trace_file)
+    config = _MODE_CTORS[args.mode]()
+    result = simulate(trace, config)
+    print(f"mode        : {config.display_name}")
+    print(f"cycles      : {result.cycles:.0f}")
+    print(f"instructions: {result.instructions}")
+    print(f"ipc/core    : {result.ipc / trace.num_threads:.4f}")
+    print(f"offloaded   : {result.core_stats.offloaded_atomics}")
+    print(f"host atomics: {result.core_stats.host_atomics}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.harness import run_experiment
+
+    static = {"tab02", "tab03", "tab05", "tab06"}
+    if args.experiment_id in static:
+        result = run_experiment(args.experiment_id)
+    else:
+        result = run_experiment(args.experiment_id, scale=args.scale)
+    print(result.render())
+    return 0
+
+
+_COMMANDS = {
+    "workloads": _cmd_workloads,
+    "run": _cmd_run,
+    "trace": _cmd_trace,
+    "simulate": _cmd_simulate,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

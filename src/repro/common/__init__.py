@@ -1,0 +1,41 @@
+"""Shared low-level utilities: units, deterministic RNG, and errors.
+
+Everything in :mod:`repro` builds on these primitives.  They are kept
+dependency-free (besides numpy) so any subsystem can import them without
+cycles.
+"""
+
+from repro.common.errors import (
+    ConfigError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+from repro.common.rng import DeterministicRng, derive_seed
+from repro.common.units import (
+    CACHE_LINE_BYTES,
+    FLIT_BYTES,
+    GB,
+    KB,
+    MB,
+    Cycles,
+    cycles_from_ns,
+    ns_from_cycles,
+)
+
+__all__ = [
+    "CACHE_LINE_BYTES",
+    "FLIT_BYTES",
+    "GB",
+    "KB",
+    "MB",
+    "ConfigError",
+    "Cycles",
+    "DeterministicRng",
+    "ReproError",
+    "SimulationError",
+    "TraceError",
+    "cycles_from_ns",
+    "derive_seed",
+    "ns_from_cycles",
+]

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class TraceError(ReproError):
+    """A trace stream was malformed or used incorrectly."""
+
+
+class SimulationError(ReproError):
+    """The timing simulation reached an inconsistent state."""
+
+
+class AllocationError(ReproError):
+    """The simulated address space could not satisfy an allocation."""
+
+
+class GraphError(ReproError):
+    """A graph structure was malformed or an operation was invalid."""

@@ -1,0 +1,87 @@
+"""Deterministic random-number utilities.
+
+Every stochastic component in the reproduction (graph generators,
+workload tie-breaking, synthetic datasets) draws from a
+:class:`DeterministicRng` seeded through :func:`derive_seed`, so that a
+given (seed, purpose) pair always yields the same stream regardless of
+import order or call interleaving.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_seed(base_seed: int, *labels: object) -> int:
+    """Derive a stable 63-bit child seed from ``base_seed`` and labels.
+
+    The derivation hashes the textual representation of the labels, so
+    adding a new consumer with a distinct label never perturbs the
+    streams of existing consumers.
+
+    >>> derive_seed(42, "ldbc", 1000) == derive_seed(42, "ldbc", 1000)
+    True
+    >>> derive_seed(42, "ldbc", 1000) != derive_seed(42, "rmat", 1000)
+    True
+    """
+    digest = hashlib.sha256()
+    digest.update(str(int(base_seed)).encode("utf-8"))
+    for label in labels:
+        digest.update(b"\x1f")
+        digest.update(repr(label).encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "little") & (2**63 - 1)
+
+
+class DeterministicRng:
+    """A thin wrapper over :class:`numpy.random.Generator`.
+
+    Provides the handful of draw shapes the reproduction needs, plus
+    ``fork`` for creating independent child streams.
+    """
+
+    def __init__(self, seed: int):
+        self._seed = int(seed)
+        self._gen = np.random.Generator(np.random.PCG64(self._seed))
+
+    @property
+    def seed(self) -> int:
+        """The seed this stream was created with."""
+        return self._seed
+
+    def fork(self, *labels: object) -> "DeterministicRng":
+        """Create an independent child stream labelled by ``labels``."""
+        return DeterministicRng(derive_seed(self._seed, *labels))
+
+    def integers(self, low: int, high: int, size: int | None = None):
+        """Uniform integers in ``[low, high)``."""
+        return self._gen.integers(low, high, size=size)
+
+    def random(self, size: int | None = None):
+        """Uniform floats in ``[0, 1)``."""
+        return self._gen.random(size)
+
+    def choice(self, n: int, size: int, replace: bool = True, p=None):
+        """Sample ``size`` indices from ``range(n)``."""
+        return self._gen.choice(n, size=size, replace=replace, p=p)
+
+    def permutation(self, n: int):
+        """A random permutation of ``range(n)``."""
+        return self._gen.permutation(n)
+
+    def exponential(self, scale: float, size: int | None = None):
+        """Exponentially distributed floats."""
+        return self._gen.exponential(scale, size)
+
+    def zipf_weights(self, n: int, alpha: float) -> np.ndarray:
+        """Normalized Zipf(alpha) weights over ``n`` ranks.
+
+        Used by synthetic dataset generators to produce heavy-tailed
+        popularity distributions (e.g. Twitter follower counts).
+        """
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        ranks = np.arange(1, n + 1, dtype=np.float64)
+        weights = ranks**-alpha
+        return weights / weights.sum()

@@ -1,0 +1,45 @@
+"""Units and conversion helpers used throughout the simulator.
+
+The timing model counts *core cycles* at the host clock frequency
+(2 GHz per Table IV of the paper).  HMC DRAM timing parameters are
+specified in nanoseconds in the HMC 2.0 specification and converted to
+core cycles at configuration time.
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Cache line size in bytes (Table IV).
+CACHE_LINE_BYTES = 64
+
+#: HMC FLIT size in bytes (128 bits, Section IV-B2).
+FLIT_BYTES = 16
+
+#: Type alias for readability: an integer number of core cycles.
+Cycles = int
+
+#: Host core clock frequency used for ns->cycle conversion (Table IV).
+DEFAULT_CORE_GHZ = 2.0
+
+
+def cycles_from_ns(ns: float, core_ghz: float = DEFAULT_CORE_GHZ) -> int:
+    """Convert a nanosecond latency into (rounded-up) core cycles.
+
+    >>> cycles_from_ns(13.75)  # tCL at 2 GHz
+    28
+    """
+    if ns < 0:
+        raise ValueError(f"latency must be non-negative, got {ns}")
+    cycles = ns * core_ghz
+    whole = int(cycles)
+    return whole if cycles == whole else whole + 1
+
+
+def ns_from_cycles(cycles: int, core_ghz: float = DEFAULT_CORE_GHZ) -> float:
+    """Convert core cycles back to nanoseconds."""
+    if cycles < 0:
+        raise ValueError(f"cycles must be non-negative, got {cycles}")
+    return cycles / core_ghz

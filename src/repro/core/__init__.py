@@ -1,0 +1,18 @@
+"""Top-level GraphPIM API: system facade and evaluation presets."""
+
+from repro.core.api import EvaluationReport, GraphPimSystem
+from repro.core.presets import (
+    WORKLOAD_PARAMS,
+    bench_graph,
+    sim_scale_config,
+    workload_graph,
+)
+
+__all__ = [
+    "EvaluationReport",
+    "GraphPimSystem",
+    "WORKLOAD_PARAMS",
+    "bench_graph",
+    "sim_scale_config",
+    "workload_graph",
+]

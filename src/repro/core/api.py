@@ -1,0 +1,111 @@
+"""High-level GraphPIM evaluation facade.
+
+:class:`GraphPimSystem` wraps the full pipeline — functional workload
+execution, trace capture, and timing simulation under the three system
+modes — behind a single call, returning an :class:`EvaluationReport`
+with the paper's headline metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.csr import CsrGraph
+from repro.sim.config import SystemConfig
+from repro.sim.system import SimResult, simulate
+from repro.workloads.base import WorkloadRun
+from repro.workloads.registry import get_workload
+
+
+@dataclass
+class EvaluationReport:
+    """Results of evaluating one workload across system modes."""
+
+    workload_code: str
+    run: WorkloadRun
+    results: dict[str, SimResult] = field(default_factory=dict)
+
+    @property
+    def baseline(self) -> SimResult:
+        return self.results["Baseline"]
+
+    def speedup(self, mode_label: str = "GraphPIM") -> float:
+        """Speedup of ``mode_label`` over the baseline."""
+        return self.results[mode_label].speedup_over(self.baseline)
+
+    def bandwidth_flits(self, mode_label: str) -> tuple[int, int]:
+        """(request, response) FLIT totals for a mode."""
+        stats = self.results[mode_label].hmc_stats
+        return stats.total_request_flits, stats.total_response_flits
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph summary."""
+        lines = [
+            f"workload {self.workload_code}: "
+            f"{self.run.trace.num_events} trace events, "
+            f"{self.run.stats.atomics} atomics "
+            f"({self.run.stats.property_atomics} PIM candidates)"
+        ]
+        base = self.baseline
+        lines.append(
+            f"  Baseline : {base.cycles:12.0f} cycles  ipc/core="
+            f"{base.ipc / base.config.num_cores:.3f}"
+        )
+        for label, result in self.results.items():
+            if label == "Baseline":
+                continue
+            lines.append(
+                f"  {label:9s}: {result.cycles:12.0f} cycles  "
+                f"speedup={result.speedup_over(base):.2f}x"
+            )
+        return "\n".join(lines)
+
+
+class GraphPimSystem:
+    """One-stop evaluation of workloads on the modeled machine.
+
+    Parameters
+    ----------
+    config:
+        Shared system parameters (cache geometry, HMC, core model); the
+        three evaluation modes are derived from it.
+    num_threads:
+        Virtual threads the workload is partitioned over (= active
+        cores in the simulation).
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        num_threads: int = 16,
+    ):
+        self.config = config or SystemConfig()
+        self.num_threads = num_threads
+
+    def trace(self, workload_code: str, graph: CsrGraph, **params) -> WorkloadRun:
+        """Phase 1: run the workload functionally and capture its trace."""
+        workload = get_workload(workload_code)
+        return workload.run(graph, num_threads=self.num_threads, **params)
+
+    def evaluate(
+        self,
+        workload_code: str,
+        graph: CsrGraph,
+        modes: list[SystemConfig] | None = None,
+        **params,
+    ) -> EvaluationReport:
+        """Phases 1+2: trace once, simulate under every mode."""
+        run = self.trace(workload_code, graph, **params)
+        return self.evaluate_trace(run, modes)
+
+    def evaluate_trace(
+        self, run: WorkloadRun, modes: list[SystemConfig] | None = None
+    ) -> EvaluationReport:
+        """Phase 2 only: simulate an existing trace under every mode."""
+        configs = modes or self.config.evaluation_trio()
+        report = EvaluationReport(
+            workload_code=run.workload.code, run=run
+        )
+        for config in configs:
+            report.results[config.display_name] = simulate(run.trace, config)
+        return report

@@ -1,0 +1,14 @@
+"""Conventional DDR memory model for hybrid HMC+DRAM systems.
+
+Section III-B of the paper notes GraphPIM "can be applied on systems
+equipped with both HMCs and DRAMs": property data resident in plain
+DRAM is processed conventionally, while HMC-resident property still
+benefits from PIM-Atomic.  This package provides the DDR channel model
+and the routing layer that splits the address space between the two
+devices.
+"""
+
+from repro.dram.device import DdrConfig, DdrDevice, DdrStats
+from repro.dram.memory_system import MemorySystem
+
+__all__ = ["DdrConfig", "DdrDevice", "DdrStats", "MemorySystem"]

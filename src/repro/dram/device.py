@@ -1,0 +1,124 @@
+"""A simple DDR4-like memory channel model.
+
+Deliberately simpler than the HMC model: a handful of channels with
+per-bank closed-page timing and an aggregate-bandwidth bus.  There are
+no compute units — atomics to DDR-resident data always execute on the
+host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DdrConfig:
+    """DDR4-2400-ish channel parameters."""
+
+    num_channels: int = 2
+    banks_per_channel: int = 16
+    #: Peak bus bandwidth per channel, bytes/second.
+    channel_bandwidth_bytes: float = 19.2e9
+    tCL_ns: float = 14.0
+    tRCD_ns: float = 14.0
+    tRP_ns: float = 14.0
+    tRAS_ns: float = 32.0
+    tWR_ns: float = 15.0
+    burst_ns: float = 3.3
+    #: Controller queue/scheduling overhead per request, ns.
+    controller_overhead_ns: float = 10.0
+    core_ghz: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.num_channels < 1 or self.banks_per_channel < 1:
+            raise ConfigError("DDR needs at least one channel and bank")
+
+    def cycles(self, ns: float) -> float:
+        return ns * self.core_ghz
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        return (
+            self.num_channels
+            * self.channel_bandwidth_bytes
+            / (self.core_ghz * 1e9)
+        )
+
+
+@dataclass
+class DdrStats:
+    """Access counters for the DDR side of a hybrid system."""
+
+    reads: int = 0
+    writes: int = 0
+    bus_wait_cycles: float = 0.0
+    bank_wait_cycles: float = 0.0
+
+
+class DdrDevice:
+    """Timing model for the conventional DRAM of a hybrid system."""
+
+    def __init__(self, config: DdrConfig | None = None):
+        self.config = config or DdrConfig()
+        cfg = self.config
+        self._bank_free = np.zeros(
+            (cfg.num_channels, cfg.banks_per_channel), dtype=np.float64
+        )
+        # Token-bucket bus model (same rationale as the HMC link lanes).
+        self._bus_backlog = 0.0
+        self._bus_anchor = 0.0
+        self.stats = DdrStats()
+
+    def channel_of(self, addr: int) -> int:
+        return (addr >> 6) % self.config.num_channels
+
+    def bank_of(self, addr: int) -> int:
+        return (addr >> 12) % self.config.banks_per_channel
+
+    def _reserve_bus(self, t: float, line_bytes: int = 64) -> float:
+        rate = self.config.bytes_per_cycle
+        if t > self._bus_anchor:
+            self._bus_backlog = max(
+                0.0, self._bus_backlog - (t - self._bus_anchor) * rate
+            )
+            self._bus_anchor = t
+        wait = self._bus_backlog / rate
+        self.stats.bus_wait_cycles += wait
+        self._bus_backlog += line_bytes
+        return t + wait + line_bytes / rate
+
+    def _reserve_bank(self, addr: int, t: float, occupancy: float) -> float:
+        channel, bank = self.channel_of(addr), self.bank_of(addr)
+        start = max(t, float(self._bank_free[channel, bank]))
+        self.stats.bank_wait_cycles += start - t
+        self._bank_free[channel, bank] = start + occupancy
+        return start
+
+    def read(self, addr: int, t: float) -> float:
+        """64-byte line read; returns data-arrival time at the host."""
+        cfg = self.config
+        self.stats.reads += 1
+        t_ctrl = t + cfg.cycles(cfg.controller_overhead_ns)
+        t_bank = self._reserve_bank(
+            addr, t_ctrl, cfg.cycles(cfg.tRAS_ns + cfg.tRP_ns)
+        )
+        data_ready = t_bank + cfg.cycles(
+            cfg.tRCD_ns + cfg.tCL_ns + cfg.burst_ns
+        )
+        return self._reserve_bus(data_ready)
+
+    def write(self, addr: int, t: float) -> float:
+        """Posted 64-byte write; returns DRAM completion time."""
+        cfg = self.config
+        self.stats.writes += 1
+        t_ctrl = t + cfg.cycles(cfg.controller_overhead_ns)
+        self._reserve_bus(t_ctrl)
+        occupancy = cfg.cycles(
+            cfg.tRCD_ns + cfg.burst_ns + cfg.tWR_ns + cfg.tRP_ns
+        )
+        t_bank = self._reserve_bank(addr, t_ctrl, occupancy)
+        return t_bank + occupancy

@@ -1,0 +1,85 @@
+"""Address routing between the HMC and (optionally) a DDR channel pair.
+
+In a pure-HMC system (the paper's Table IV machine) everything lives in
+the cube.  In a hybrid system, metadata and structure live in DDR, and
+the property region is split: a deterministic per-line hash places
+``property_hmc_fraction`` of the property lines in the HMC, the rest in
+DDR.  The POU can offload only atomics whose target line is
+HMC-resident; DDR-resident property is "processed in the conventional
+way" (Section III-B).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.dram.device import DdrDevice
+from repro.hmc.commands import HmcCommand
+from repro.hmc.device import HmcDevice
+from repro.memlayout.regions import REGION_SHIFT, Region
+
+_PROPERTY_REGION = int(Region.PROPERTY)
+
+
+class MemorySystem:
+    """Routes reads/writes/PIM-atomics to the HMC or the DDR device."""
+
+    def __init__(
+        self,
+        hmc: HmcDevice,
+        dram: DdrDevice | None = None,
+        property_hmc_fraction: float = 1.0,
+    ):
+        if not 0.0 <= property_hmc_fraction <= 1.0:
+            raise ConfigError("property_hmc_fraction must be in [0, 1]")
+        self.hmc = hmc
+        self.dram = dram
+        # Per-line hash threshold out of 64 buckets.
+        self._threshold = round(property_hmc_fraction * 64)
+        self.property_hmc_fraction = property_hmc_fraction
+
+    @property
+    def is_hybrid(self) -> bool:
+        return self.dram is not None
+
+    def in_hmc(self, addr: int) -> bool:
+        """Whether the line holding ``addr`` is HMC-resident."""
+        if self.dram is None:
+            return True
+        if (addr >> REGION_SHIFT) != _PROPERTY_REGION:
+            # Hybrid systems keep metadata/structure in conventional
+            # DRAM; only (part of) the property region is in the cube.
+            return False
+        line = addr >> 6
+        # Deterministic spread: golden-ratio hash into 64 buckets.
+        bucket = (line * 0x9E3779B97F4A7C15 >> 58) & 63
+        return bucket < self._threshold
+
+    def read(self, addr: int, t: float) -> float:
+        if self.in_hmc(addr):
+            return self.hmc.read(addr, t)
+        return self.dram.read(addr, t)
+
+    def write(self, addr: int, t: float) -> float:
+        if self.in_hmc(addr):
+            return self.hmc.write(addr, t)
+        return self.dram.write(addr, t)
+
+    def pim_atomic(
+        self, command: HmcCommand, addr: int, t: float, host_consumes: bool
+    ) -> tuple[float, bool]:
+        """Execute a PIM atomic; caller must have checked :meth:`in_hmc`."""
+        if not self.in_hmc(addr):
+            raise ConfigError(
+                f"PIM atomic routed to non-HMC address {addr:#x}"
+            )
+        return self.hmc.pim_atomic(command, addr, t, host_consumes)
+
+    @property
+    def stats(self):
+        """The HMC-side stats (bandwidth/energy accounting)."""
+        return self.hmc.stats
+
+    @property
+    def dram_stats(self):
+        """The DDR-side stats, or None for pure-HMC systems."""
+        return self.dram.stats if self.dram else None

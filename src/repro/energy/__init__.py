@@ -1,0 +1,6 @@
+"""Uncore energy model (Section IV-B4, Figure 15)."""
+
+from repro.energy.model import EnergyBreakdown, uncore_energy
+from repro.energy.params import EnergyParams
+
+__all__ = ["EnergyBreakdown", "EnergyParams", "uncore_energy"]

@@ -1,0 +1,102 @@
+"""Uncore energy accounting from simulation statistics.
+
+Reproduces Figure 15's five components: host caches, HMC SerDes links,
+HMC functional units, HMC logic layer, and HMC DRAM.  Each component is
+static power x execution time plus per-event dynamic energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.params import EnergyParams
+from repro.sim.system import SimResult
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Uncore energy by component, in joules."""
+
+    caches: float
+    hmc_link: float
+    hmc_fu: float
+    hmc_logic: float
+    hmc_dram: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.caches
+            + self.hmc_link
+            + self.hmc_fu
+            + self.hmc_logic
+            + self.hmc_dram
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """Figure 15 component labels -> joules."""
+        return {
+            "Caches": self.caches,
+            "HMC Link": self.hmc_link,
+            "HMC FU": self.hmc_fu,
+            "HMC LL": self.hmc_logic,
+            "HMC DRAM": self.hmc_dram,
+        }
+
+    def normalized_to(self, baseline: "EnergyBreakdown") -> dict[str, float]:
+        """Components as fractions of another run's total (Figure 15)."""
+        denom = baseline.total
+        return {name: value / denom for name, value in self.as_dict().items()}
+
+
+def uncore_energy(
+    result: SimResult, params: EnergyParams | None = None
+) -> EnergyBreakdown:
+    """Compute the uncore energy breakdown of one simulation."""
+    p = params or EnergyParams()
+    seconds = p.seconds(result.cycles)
+    cache = result.cache_stats
+    hmc = result.hmc_stats
+    hmc_config = result.config.hmc
+
+    caches = (
+        cache["L1"].accesses * p.l1_access_nj
+        + cache["L2"].accesses * p.l2_access_nj
+        + cache["L3"].accesses * p.l3_access_nj
+    ) * 1e-9 + p.cache_static_w * seconds
+
+    link = (
+        hmc.total_flits * p.link_flit_nj * 1e-9
+        + p.link_static_w * seconds
+    )
+
+    total_packets = sum(hmc.requests.values())
+    logic = (
+        total_packets * p.logic_packet_nj * 1e-9
+        + p.logic_static_w * seconds
+    )
+
+    dram = (
+        hmc.dram_activates * p.dram_activate_nj
+        + (hmc.dram_reads + hmc.dram_writes) * p.dram_access_nj
+    ) * 1e-9 + p.dram_static_w * seconds
+
+    fu_static_w = (
+        hmc_config.num_vaults
+        * (
+            hmc_config.fus_per_vault * p.fu_int_static_mw_per_unit
+            + hmc_config.fp_fus_per_vault * p.fu_fp_static_mw_per_unit
+        )
+        * 1e-3
+    )
+    fu = (
+        hmc.fu_int_ops * p.fu_int_op_nj + hmc.fu_fp_ops * p.fu_fp_op_nj
+    ) * 1e-9 + fu_static_w * seconds
+
+    return EnergyBreakdown(
+        caches=caches,
+        hmc_link=link,
+        hmc_fu=fu,
+        hmc_logic=logic,
+        hmc_dram=dram,
+    )

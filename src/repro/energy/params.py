@@ -1,0 +1,60 @@
+"""Energy coefficients.
+
+The paper models cache energy with CACTI 6.5 and HMC energy with the
+models of Jeddeloh & Keeth (VLSIT'12) and Pugsley et al. (ISPASS'14);
+neither tool is available here, so we encode the *published aggregate
+characteristics* those models produce:
+
+- HMC SerDes links draw ~43% of HMC power and are dominated by
+  always-on static power (Section IV-B4).
+- The logic layer (vault controllers, crossbar) is the second-largest
+  static consumer.
+- DRAM energy is mostly dynamic (activate + read/write per access).
+- Fixed-function integer FUs are negligible; FP units are visibly more
+  expensive per op (the paper recommends one FP FU per vault).
+
+Coefficients are in nanojoules and watts at the modeled 2 GHz host
+clock; absolute values are representative, the *breakdown shape* is
+what EXPERIMENTS.md validates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Tunable energy coefficients."""
+
+    # --- dynamic energy per event (nJ) ---
+    l1_access_nj: float = 0.02
+    l2_access_nj: float = 0.08
+    l3_access_nj: float = 0.4
+    #: Per-FLIT transfer energy across the SerDes links (both PHYs).
+    link_flit_nj: float = 0.8
+    #: DRAM row activate + precharge.
+    dram_activate_nj: float = 2.0
+    #: DRAM column read or write burst.
+    dram_access_nj: float = 1.0
+    #: Logic-layer packet handling (vault controller + crossbar hop).
+    logic_packet_nj: float = 0.3
+    fu_int_op_nj: float = 0.05
+    fu_fp_op_nj: float = 2.5
+
+    # --- static power (W), charged for the whole execution ---
+    #: SerDes links: always-on; the reason links are ~43% of HMC power.
+    link_static_w: float = 4.2
+    logic_static_w: float = 2.8
+    dram_static_w: float = 1.6
+    cache_static_w: float = 0.8
+    #: Per-FU leakage is negligible for integer FUs; FP FUs leak more,
+    #: which is why Section IV-B4 recommends only one per vault.
+    fu_int_static_mw_per_unit: float = 0.05
+    fu_fp_static_mw_per_unit: float = 12.0
+
+    core_ghz: float = 2.0
+
+    def seconds(self, cycles: float) -> float:
+        """Execution time in seconds at the modeled clock."""
+        return cycles / (self.core_ghz * 1e9)

@@ -1,0 +1,25 @@
+"""GraphBIG-like graph computing framework with trace instrumentation.
+
+This is the "underlying graph framework" layer of the paper (Section
+II-B): it provides vertex/property primitives to the workloads in
+:mod:`repro.workloads` while hiding data management.  Every primitive
+both *performs* its functional effect and *records* the memory accesses
+a real implementation would issue, producing the traces the timing
+model replays.
+
+The single framework change GraphPIM requires — allocating graph
+property through ``pmr_malloc`` — happens in
+:meth:`FrameworkContext.alloc_property`.
+"""
+
+from repro.framework.context import FrameworkContext
+from repro.framework.frontier import Frontier
+from repro.framework.properties import PropertyTable
+from repro.framework.traced_graph import TracedGraph
+
+__all__ = [
+    "FrameworkContext",
+    "Frontier",
+    "PropertyTable",
+    "TracedGraph",
+]

@@ -1,0 +1,30 @@
+"""Graph substrate: static CSR graphs, generators, dynamic graphs, I/O.
+
+This package is the data layer underneath the GraphBIG-like framework in
+:mod:`repro.framework`.  Graphs are stored in compressed sparse row (CSR)
+form — the array-like neighbor layout the paper relies on for the "graph
+structure has good spatial locality" observation (Section II-C).
+"""
+
+from repro.graph.csr import CsrGraph
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.generators import (
+    GraphSpec,
+    grid_graph,
+    ldbc_like_graph,
+    rmat_graph,
+    uniform_random_graph,
+)
+from repro.graph.io import load_edge_list, save_edge_list
+
+__all__ = [
+    "CsrGraph",
+    "DynamicGraph",
+    "GraphSpec",
+    "grid_graph",
+    "ldbc_like_graph",
+    "load_edge_list",
+    "rmat_graph",
+    "save_edge_list",
+    "uniform_random_graph",
+]

@@ -1,0 +1,162 @@
+"""Mutable adjacency-list graph for the Dynamic Graph (DG) workloads.
+
+The paper's DG category (graph construction, graph update, topology
+morphing) mutates the structure at run time — exactly what CSR cannot
+do.  ``DynamicGraph`` is the substrate for those workloads; it can be
+snapshotted to CSR for the static workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.common.errors import GraphError
+from repro.graph.csr import CsrGraph
+
+
+class DynamicGraph:
+    """A directed graph with O(1) amortized edge insertion and deletion.
+
+    Neighbor lists are Python lists (append-friendly), matching the
+    pointer-chasing, allocation-heavy behavior the paper attributes to
+    dynamic-graph workloads.
+    """
+
+    def __init__(self, num_vertices: int = 0):
+        if num_vertices < 0:
+            raise GraphError("num_vertices must be >= 0")
+        self._adjacency: list[list[int]] = [[] for _ in range(num_vertices)]
+        self._num_edges = 0
+
+    @classmethod
+    def from_csr(cls, graph: CsrGraph) -> "DynamicGraph":
+        """Copy a static CSR graph into mutable form."""
+        dyn = cls(graph.num_vertices)
+        for v in range(graph.num_vertices):
+            nbrs = graph.neighbors(v)
+            dyn._adjacency[v] = [int(u) for u in nbrs]
+            dyn._num_edges += nbrs.size
+        return dyn
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Current vertex count."""
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        """Current directed edge count."""
+        return self._num_edges
+
+    def degree(self, vertex: int) -> int:
+        """Out-degree of ``vertex``."""
+        self._check_vertex(vertex)
+        return len(self._adjacency[vertex])
+
+    def neighbors(self, vertex: int) -> list[int]:
+        """The (live) neighbor list of ``vertex``. Do not mutate."""
+        self._check_vertex(vertex)
+        return self._adjacency[vertex]
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        """Whether a directed edge src->dst exists."""
+        self._check_vertex(src)
+        return dst in self._adjacency[src]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add_vertex(self) -> int:
+        """Append a new isolated vertex; returns its id."""
+        self._adjacency.append([])
+        return len(self._adjacency) - 1
+
+    def add_vertices(self, count: int) -> range:
+        """Append ``count`` vertices; returns their id range."""
+        if count < 0:
+            raise GraphError("count must be >= 0")
+        first = len(self._adjacency)
+        self._adjacency.extend([] for _ in range(count))
+        return range(first, first + count)
+
+    def add_edge(self, src: int, dst: int) -> None:
+        """Insert a directed edge (duplicates allowed)."""
+        self._check_vertex(src)
+        self._check_vertex(dst)
+        self._adjacency[src].append(dst)
+        self._num_edges += 1
+
+    def remove_edge(self, src: int, dst: int) -> bool:
+        """Remove one occurrence of src->dst; returns whether found."""
+        self._check_vertex(src)
+        self._check_vertex(dst)
+        try:
+            self._adjacency[src].remove(dst)
+        except ValueError:
+            return False
+        self._num_edges -= 1
+        return True
+
+    def remove_vertex_edges(self, vertex: int) -> int:
+        """Drop all out-edges of ``vertex``; returns how many."""
+        self._check_vertex(vertex)
+        dropped = len(self._adjacency[vertex])
+        self._adjacency[vertex] = []
+        self._num_edges -= dropped
+        return dropped
+
+    def contract_edge(self, src: int, dst: int) -> None:
+        """Merge ``dst`` into ``src`` (topology-morphing primitive).
+
+        All of dst's out-edges move to src; edges formerly pointing at
+        dst are left as-is (the morphing workload rewrites them lazily).
+        """
+        self._check_vertex(src)
+        self._check_vertex(dst)
+        if src == dst:
+            raise GraphError("cannot contract a vertex into itself")
+        moved = [u for u in self._adjacency[dst] if u != src]
+        dropped = len(self._adjacency[dst]) - len(moved)
+        self._adjacency[src].extend(moved)
+        self._adjacency[dst] = []
+        self._num_edges -= dropped
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+
+    def to_csr(self) -> CsrGraph:
+        """Snapshot the current structure as a CSR graph."""
+        edges = np.empty((self._num_edges, 2), dtype=np.int64)
+        pos = 0
+        for v, nbrs in enumerate(self._adjacency):
+            for u in nbrs:
+                edges[pos, 0] = v
+                edges[pos, 1] = u
+                pos += 1
+        return CsrGraph.from_edges(self.num_vertices, edges[:pos])
+
+    def edge_iter(self) -> Iterable[tuple[int, int]]:
+        """Yield all (src, dst) pairs."""
+        for v, nbrs in enumerate(self._adjacency):
+            for u in nbrs:
+                yield v, u
+
+    def _check_vertex(self, vertex: int) -> None:
+        if not 0 <= vertex < len(self._adjacency):
+            raise GraphError(
+                f"vertex {vertex} out of range [0, {len(self._adjacency)})"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicGraph(vertices={self.num_vertices}, "
+            f"edges={self.num_edges})"
+        )

@@ -1,0 +1,70 @@
+"""Plain-text edge-list I/O.
+
+Format: one ``src dst [weight]`` triple per line, ``#`` comments, with a
+mandatory header line ``# vertices: N`` so isolated trailing vertices
+survive a round trip.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.common.errors import GraphError
+from repro.graph.csr import CsrGraph
+
+
+def save_edge_list(graph: CsrGraph, path: str | os.PathLike) -> None:
+    """Write ``graph`` to ``path`` in edge-list format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# vertices: {graph.num_vertices}\n")
+        weights = graph.weights
+        for idx, (src, dst) in enumerate(graph.iter_edges()):
+            if weights is not None:
+                handle.write(f"{src} {dst} {weights[idx]:.9g}\n")
+            else:
+                handle.write(f"{src} {dst}\n")
+
+
+def load_edge_list(path: str | os.PathLike) -> CsrGraph:
+    """Read a graph previously written by :func:`save_edge_list`."""
+    num_vertices = None
+    sources: list[int] = []
+    targets: list[int] = []
+    weights: list[float] = []
+    saw_weights = False
+
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                body = line[1:].strip()
+                if body.startswith("vertices:"):
+                    num_vertices = int(body.split(":", 1)[1])
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise GraphError(f"{path}:{line_no}: malformed edge line {line!r}")
+            sources.append(int(parts[0]))
+            targets.append(int(parts[1]))
+            if len(parts) == 3:
+                saw_weights = True
+                weights.append(float(parts[2]))
+            elif saw_weights:
+                raise GraphError(
+                    f"{path}:{line_no}: mixed weighted/unweighted edges"
+                )
+
+    if num_vertices is None:
+        raise GraphError(f"{path}: missing '# vertices: N' header")
+    edges = np.column_stack(
+        [
+            np.asarray(sources, dtype=np.int64),
+            np.asarray(targets, dtype=np.int64),
+        ]
+    ) if sources else np.empty((0, 2), dtype=np.int64)
+    weight_array = np.asarray(weights, dtype=np.float64) if saw_weights else None
+    return CsrGraph.from_edges(num_vertices, edges, weight_array)

@@ -1,0 +1,88 @@
+"""ASCII chart rendering for figure-style experiment output.
+
+The paper's evaluation artifacts are bar charts; these helpers render
+them in the terminal so ``examples/reproduce_all.py`` output reads like
+the figures, not just tables.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.common.errors import ConfigError
+
+_FULL = "█"
+_PART = " ▏▎▍▌▋▊▉"
+
+
+def _bar(value: float, max_value: float, width: int) -> str:
+    if max_value <= 0:
+        return ""
+    fraction = max(0.0, min(value / max_value, 1.0))
+    cells = fraction * width
+    whole = int(cells)
+    remainder = int((cells - whole) * 8)
+    bar = _FULL * whole
+    if remainder and whole < width:
+        bar += _PART[remainder]
+    return bar
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 40,
+    reference: float | None = None,
+) -> str:
+    """Render one horizontal bar per (label, value).
+
+    ``reference`` draws a marker column (e.g. the 1.0x speedup line).
+    """
+    if len(labels) != len(values):
+        raise ConfigError("labels and values must have the same length")
+    if not labels:
+        return title
+    max_value = max(max(values), reference or 0.0, 1e-12)
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = _bar(value, max_value, width)
+        line = f"{str(label).ljust(label_width)} |{bar.ljust(width)}| {value:.3f}"
+        if reference is not None:
+            marker = int(min(reference / max_value, 1.0) * width)
+            chars = list(line)
+            pos = label_width + 2 + marker
+            if pos < len(chars) and chars[pos] == " ":
+                chars[pos] = "·"
+            line = "".join(chars)
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Render grouped bars: one block per label, one bar per series."""
+    for name, values in series.items():
+        if len(values) != len(labels):
+            raise ConfigError(f"series {name!r} length mismatch")
+    if not labels:
+        return title
+    max_value = max(
+        (max(values) for values in series.values()), default=1e-12
+    )
+    name_width = max(len(name) for name in series)
+    lines = [title] if title else []
+    for i, label in enumerate(labels):
+        lines.append(str(label))
+        for name, values in series.items():
+            bar = _bar(values[i], max_value, width)
+            lines.append(
+                f"  {name.ljust(name_width)} |{bar.ljust(width)}| "
+                f"{values[i]:.3f}"
+            )
+    return "\n".join(lines)

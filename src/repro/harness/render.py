@@ -1,0 +1,34 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_cell(value) -> str:
+    """Render one cell: floats get 3 significant decimals."""
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    text_rows = [[format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in text_rows)
+    return "\n".join(out)

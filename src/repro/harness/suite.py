@@ -1,0 +1,99 @@
+"""Shared, memoized simulation suites.
+
+Most of the paper's evaluation figures (7, 9, 10, 12, 15, 16) are
+different views of the same runs: the eight Figure 7 workloads under
+Baseline / U-PEI / GraphPIM.  :func:`evaluation_suite` runs that grid
+once per scale and caches it for the lifetime of the process, so the
+benchmark files can each render their artifact without re-simulating.
+"""
+
+from __future__ import annotations
+
+from repro.core.api import EvaluationReport, GraphPimSystem
+from repro.core.presets import (
+    resolve_scale,
+    workload_graph,
+    workload_params,
+)
+from repro.sim.config import SystemConfig
+from repro.sim.system import SimResult, simulate
+from repro.workloads.base import WorkloadRun
+from repro.workloads.registry import FIGURE7_CODES, all_workloads, get_workload
+
+_EVAL_CACHE: dict[str, dict[str, EvaluationReport]] = {}
+_MOTIVATION_CACHE: dict[str, dict[str, tuple[WorkloadRun, SimResult]]] = {}
+_PLAIN_CACHE: dict[str, dict[str, SimResult]] = {}
+
+
+def trace_workload(code: str, scale: str | None = None) -> WorkloadRun:
+    """Trace one workload on its bench graph at the given scale."""
+    scale = resolve_scale(scale)
+    graph = workload_graph(code, scale)
+    workload = get_workload(code)
+    return workload.run(graph, num_threads=16, **workload_params(code))
+
+
+def evaluation_suite(
+    scale: str | None = None,
+) -> dict[str, EvaluationReport]:
+    """Figure 7 workloads under the three system modes, memoized."""
+    scale = resolve_scale(scale)
+    if scale not in _EVAL_CACHE:
+        system = GraphPimSystem(SystemConfig())
+        suite = {}
+        for code in FIGURE7_CODES:
+            run = trace_workload(code, scale)
+            suite[code] = system.evaluate_trace(run)
+        _EVAL_CACHE[scale] = suite
+    return _EVAL_CACHE[scale]
+
+
+def motivation_suite(
+    scale: str | None = None,
+) -> dict[str, tuple[WorkloadRun, SimResult]]:
+    """All 13 workloads under the baseline only (Figures 1 and 2).
+
+    Reuses the evaluation suite's baseline runs for the Figure 7 set.
+    """
+    scale = resolve_scale(scale)
+    if scale not in _MOTIVATION_CACHE:
+        suite = evaluation_suite(scale)
+        results: dict[str, tuple[WorkloadRun, SimResult]] = {}
+        baseline_config = SystemConfig.baseline()
+        for workload in all_workloads():
+            code = workload.code
+            if code in suite:
+                report = suite[code]
+                results[code] = (report.run, report.baseline)
+            else:
+                run = trace_workload(code, scale)
+                results[code] = (run, simulate(run.trace, baseline_config))
+        _MOTIVATION_CACHE[scale] = results
+    return _MOTIVATION_CACHE[scale]
+
+
+def plain_atomics_suite(scale: str | None = None) -> dict[str, SimResult]:
+    """Figure 4's "without atomics" runs: atomics recorded as load+store."""
+    scale = resolve_scale(scale)
+    if scale not in _PLAIN_CACHE:
+        baseline_config = SystemConfig.baseline()
+        results = {}
+        for code in FIGURE7_CODES:
+            graph = workload_graph(code, scale)
+            workload = get_workload(code)
+            run = workload.run(
+                graph,
+                num_threads=16,
+                plain_atomics=True,
+                **workload_params(code),
+            )
+            results[code] = simulate(run.trace, baseline_config)
+        _PLAIN_CACHE[scale] = results
+    return _PLAIN_CACHE[scale]
+
+
+def clear_caches() -> None:
+    """Drop all memoized runs (tests use this to control memory)."""
+    _EVAL_CACHE.clear()
+    _MOTIVATION_CACHE.clear()
+    _PLAIN_CACHE.clear()

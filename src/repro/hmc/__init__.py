@@ -1,0 +1,30 @@
+"""Hybrid Memory Cube (HMC 2.0) model.
+
+Structural parameters follow Table IV of the paper (8 GB cube, 32
+vaults, 512 DRAM banks, 4 links at 120 GB/s) and the HMC 2.0
+specification: a packet-based link protocol with 128-bit FLITs
+(Table V) and 18 fixed-function atomic commands executed in the logic
+layer with the target bank locked for the duration of the
+read-modify-write (Table I).
+"""
+
+from repro.hmc.commands import HmcCommand, command_for_atomic, command_returns
+from repro.hmc.config import HmcConfig
+from repro.hmc.device import HmcDevice, HmcStats
+from repro.hmc.packets import (
+    FLITS_PER_TRANSACTION,
+    TransactionKind,
+    flits_for,
+)
+
+__all__ = [
+    "FLITS_PER_TRANSACTION",
+    "HmcCommand",
+    "HmcConfig",
+    "HmcDevice",
+    "HmcStats",
+    "TransactionKind",
+    "command_for_atomic",
+    "command_returns",
+    "flits_for",
+]

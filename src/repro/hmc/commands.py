@@ -1,0 +1,103 @@
+"""HMC 2.0 atomic command set (Table I) plus the proposed FP extension.
+
+Table I groups the 18 HMC 2.0 atomics into four types: arithmetic
+(single/dual signed add), bitwise (swap, bit write), boolean
+(AND/NAND/OR/NOR/XOR), and comparison (CAS-if equal/zero/greater/less,
+compare-if-equal).  The paper proposes adding floating-point add/sub
+(Section III-C); those two commands are gated behind the
+``fp_extension`` flag of the system configuration.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.common.errors import ConfigError
+from repro.trace.events import AtomicOp
+
+
+class HmcCommand(Enum):
+    """PIM-Atomic commands, named as in the HMC 2.0 specification."""
+
+    # Arithmetic
+    ADD_8 = "add8"
+    ADD_16 = "add16"
+    DUAL_ADD = "dual-add"
+    # Bitwise
+    SWAP = "swap"
+    BIT_WRITE = "bit-write"
+    # Boolean
+    AND = "and"
+    NAND = "nand"
+    OR = "or"
+    NOR = "nor"
+    XOR = "xor"
+    # Comparison
+    CAS_EQUAL = "cas-if-equal"
+    CAS_ZERO = "cas-if-zero"
+    CAS_GREATER = "cas-if-greater"
+    CAS_LESS = "cas-if-less"
+    COMPARE_EQUAL = "compare-if-equal"
+    # Proposed extension (Section III-C): not part of HMC 2.0.
+    FP_ADD = "fp-add (extension)"
+    FP_SUB = "fp-sub (extension)"
+
+
+#: Commands that execute on the floating-point functional unit.
+FP_COMMANDS = frozenset({HmcCommand.FP_ADD, HmcCommand.FP_SUB})
+
+#: Commands introduced by the paper's proposed extension.
+EXTENSION_COMMANDS = FP_COMMANDS
+
+#: Host atomic op -> HMC command (Table II mapping).
+_HOST_TO_HMC: dict[AtomicOp, HmcCommand] = {
+    AtomicOp.CAS: HmcCommand.CAS_EQUAL,
+    AtomicOp.ADD: HmcCommand.ADD_16,
+    AtomicOp.SUB: HmcCommand.ADD_16,  # signed add of a negative immediate
+    AtomicOp.SWAP: HmcCommand.SWAP,
+    AtomicOp.AND: HmcCommand.AND,
+    AtomicOp.OR: HmcCommand.OR,
+    AtomicOp.XOR: HmcCommand.XOR,
+    AtomicOp.MIN: HmcCommand.CAS_LESS,
+    AtomicOp.MAX: HmcCommand.CAS_GREATER,
+    AtomicOp.FP_ADD: HmcCommand.FP_ADD,
+    AtomicOp.FP_SUB: HmcCommand.FP_SUB,
+}
+
+
+def command_for_atomic(op: AtomicOp) -> HmcCommand:
+    """Map a host atomic instruction to its PIM-Atomic command."""
+    try:
+        return _HOST_TO_HMC[op]
+    except KeyError:
+        raise ConfigError(f"no HMC command for host atomic {op!r}") from None
+
+
+def command_supported(command: HmcCommand, fp_extension: bool) -> bool:
+    """Whether ``command`` exists on the modeled cube.
+
+    HMC 2.0 commands are always supported; the FP add/sub commands only
+    exist when the proposed extension is enabled.
+    """
+    if command in EXTENSION_COMMANDS:
+        return fp_extension
+    return True
+
+
+def command_returns(command: HmcCommand, host_consumes_value: bool) -> bool:
+    """Whether a response carries data back to the host.
+
+    CAS-style commands always return the atomic flag / old data
+    (Table I: comparison ops are "w/ return"); add-style commands return
+    only when the program consumes the old value.
+    """
+    if command in (
+        HmcCommand.CAS_EQUAL,
+        HmcCommand.CAS_ZERO,
+        HmcCommand.CAS_GREATER,
+        HmcCommand.CAS_LESS,
+        HmcCommand.COMPARE_EQUAL,
+        HmcCommand.SWAP,
+    ):
+        return True
+    return host_consumes_value

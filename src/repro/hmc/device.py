@@ -1,0 +1,262 @@
+"""HMC timing model: vaults, banks, PIM functional units, SerDes links.
+
+The device hands out completion times using next-free-time reservations
+on three resource classes:
+
+- the aggregate SerDes link bandwidth, one reservation lane per
+  direction (requests toward the cube, responses toward the host);
+- per-bank row-cycle occupancy (closed-page policy; a PIM RMW locks the
+  bank for the whole read-modify-write, Section II-A);
+- per-vault functional units (integer pool + FP pool for the proposed
+  extension), so a reduced FU count creates queueing (Figure 11).
+
+All times are host-core cycles as floats.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+from repro.hmc.commands import FP_COMMANDS, HmcCommand, command_returns
+from repro.hmc.config import HmcConfig
+from repro.hmc.packets import (
+    TransactionKind,
+    atomic_transaction_kind,
+    flits_for,
+)
+
+
+@dataclass
+class HmcStats:
+    """Event counters for bandwidth (Figure 12) and energy (Figure 15)."""
+
+    requests: Counter = field(default_factory=Counter)
+    request_flits: Counter = field(default_factory=Counter)
+    response_flits: Counter = field(default_factory=Counter)
+    dram_activates: int = 0
+    dram_reads: int = 0
+    dram_writes: int = 0
+    fu_int_ops: int = 0
+    fu_fp_ops: int = 0
+    bank_wait_cycles: float = 0.0
+    link_wait_cycles: float = 0.0
+
+    @property
+    def total_request_flits(self) -> int:
+        return sum(self.request_flits.values())
+
+    @property
+    def total_response_flits(self) -> int:
+        return sum(self.response_flits.values())
+
+    @property
+    def total_flits(self) -> int:
+        return self.total_request_flits + self.total_response_flits
+
+
+class _LinkLane:
+    """Token-bucket model of one link direction's aggregate bandwidth.
+
+    A strict next-free-time reservation would serialize requests in
+    *reservation* order, but the multi-core replay issues requests
+    slightly out of time order (different cores reserve at different
+    clock offsets within an event).  Tracking the outstanding FLIT
+    backlog instead gives order-insensitive FIFO-approximate queueing.
+    """
+
+    __slots__ = ("rate", "backlog", "anchor", "wait_cycles")
+
+    def __init__(self, flits_per_cycle: float):
+        self.rate = flits_per_cycle
+        self.backlog = 0.0
+        self.anchor = 0.0
+        self.wait_cycles = 0.0
+
+    def reserve(self, t: float, flits: int) -> float:
+        """Send ``flits`` at time ``t``; returns last-FLIT departure."""
+        if t > self.anchor:
+            self.backlog = max(
+                0.0, self.backlog - (t - self.anchor) * self.rate
+            )
+            self.anchor = t
+        wait = self.backlog / self.rate
+        self.wait_cycles += wait
+        self.backlog += flits
+        return t + wait + flits / self.rate
+
+
+class HmcDevice:
+    """One HMC 2.0 cube serving reads, writes, and PIM atomics."""
+
+    def __init__(self, config: HmcConfig | None = None):
+        self.config = config or HmcConfig()
+        cfg = self.config
+        self._bank_free = np.zeros(
+            (cfg.num_vaults, cfg.banks_per_vault), dtype=np.float64
+        )
+        self._fu_free = [
+            [0.0] * cfg.fus_per_vault for _ in range(cfg.num_vaults)
+        ]
+        self._fp_fu_free = [
+            [0.0] * max(cfg.fp_fus_per_vault, 1)
+            for _ in range(cfg.num_vaults)
+        ]
+        flits_per_cycle = cfg.flits_per_cycle_per_direction
+        self._req_lane = _LinkLane(flits_per_cycle)
+        self._resp_lane = _LinkLane(flits_per_cycle)
+        self.stats = HmcStats()
+
+    # ------------------------------------------------------------------
+    # Address mapping
+    # ------------------------------------------------------------------
+
+    def vault_of(self, addr: int) -> int:
+        """Vault index: 64-byte blocks interleave across vaults."""
+        return (addr >> 6) % self.config.num_vaults
+
+    def bank_of(self, addr: int) -> int:
+        """Bank index within the vault."""
+        return (addr >> 11) % self.config.banks_per_vault
+
+    # ------------------------------------------------------------------
+    # Resource reservation helpers
+    # ------------------------------------------------------------------
+
+    def _reserve_req_link(self, t: float, flits: int) -> float:
+        end = self._req_lane.reserve(t, flits)
+        self.stats.link_wait_cycles = (
+            self._req_lane.wait_cycles + self._resp_lane.wait_cycles
+        )
+        return end
+
+    def _reserve_resp_link(self, t: float, flits: int) -> float:
+        end = self._resp_lane.reserve(t, flits)
+        self.stats.link_wait_cycles = (
+            self._req_lane.wait_cycles + self._resp_lane.wait_cycles
+        )
+        return end
+
+    def _reserve_bank(
+        self, vault: int, bank: int, t: float, occupancy: float
+    ) -> float:
+        start = max(t, float(self._bank_free[vault, bank]))
+        self.stats.bank_wait_cycles += start - t
+        self._bank_free[vault, bank] = start + occupancy
+        return start
+
+    def _reserve_fu(self, pool: list[float], t: float, duration: float) -> float:
+        idx = min(range(len(pool)), key=pool.__getitem__)
+        start = max(t, pool[idx])
+        pool[idx] = start + duration
+        return start
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def read(self, addr: int, t: float) -> float:
+        """64-byte READ (cache-line fill or uncacheable load).
+
+        Returns the cycle at which data arrives back at the host.
+        """
+        cfg = self.config
+        kind = TransactionKind.READ_64
+        req_flits, resp_flits = flits_for(kind)
+        self._count(kind, req_flits, resp_flits)
+
+        t_req = self._reserve_req_link(t, req_flits)
+        t_vault = t_req + cfg.link_latency + cfg.vault_overhead
+        vault, bank = self.vault_of(addr), self.bank_of(addr)
+        occupancy = cfg.tRAS + cfg.tRP
+        t_bank = self._reserve_bank(vault, bank, t_vault, occupancy)
+        data_ready = t_bank + cfg.tRCD + cfg.tCL + cfg.burst
+        self.stats.dram_activates += 1
+        self.stats.dram_reads += 1
+        t_resp = self._reserve_resp_link(
+            data_ready + cfg.vault_overhead, resp_flits
+        )
+        return t_resp + cfg.link_latency
+
+    def write(self, addr: int, t: float) -> float:
+        """64-byte WRITE (writeback or uncacheable store).
+
+        Returns the cycle at which the write completes in DRAM; the host
+        does not wait for this (posted write), but resource occupancy is
+        charged.
+        """
+        cfg = self.config
+        kind = TransactionKind.WRITE_64
+        req_flits, resp_flits = flits_for(kind)
+        self._count(kind, req_flits, resp_flits)
+
+        t_req = self._reserve_req_link(t, req_flits)
+        t_vault = t_req + cfg.link_latency + cfg.vault_overhead
+        vault, bank = self.vault_of(addr), self.bank_of(addr)
+        occupancy = cfg.tRCD + cfg.burst + cfg.tWR + cfg.tRP
+        t_bank = self._reserve_bank(vault, bank, t_vault, occupancy)
+        done = t_bank + occupancy
+        self.stats.dram_activates += 1
+        self.stats.dram_writes += 1
+        self._reserve_resp_link(done + cfg.vault_overhead, resp_flits)
+        return done
+
+    def pim_atomic(
+        self, command: HmcCommand, addr: int, t: float, host_consumes: bool
+    ) -> tuple[float, bool]:
+        """Execute a PIM-Atomic in the logic layer.
+
+        The bank is locked for the full read-modify-write.  Returns
+        ``(completion_time, has_response_data)``; when no data returns,
+        ``completion_time`` is still when the (1-FLIT) acknowledgement
+        would arrive, which posted requests do not wait for.
+        """
+        cfg = self.config
+        is_fp = command in FP_COMMANDS
+        if is_fp and cfg.fp_fus_per_vault == 0:
+            raise SimulationError(
+                f"{command.value}: no FP functional units configured"
+            )
+        kind = atomic_transaction_kind(command, host_consumes)
+        req_flits, resp_flits = flits_for(kind)
+        self._count(kind, req_flits, resp_flits)
+
+        t_req = self._reserve_req_link(t, req_flits)
+        t_vault = t_req + cfg.link_latency + cfg.vault_overhead
+        vault, bank = self.vault_of(addr), self.bank_of(addr)
+
+        fu_time = cfg.fp_fu_op if is_fp else cfg.fu_op
+        if cfg.atomic_locks_bank:
+            # Bank locked for the whole RMW: activate + read + compute +
+            # write back + precharge (Section II-A).
+            occupancy = cfg.tRCD + cfg.tCL + fu_time + cfg.tWR + cfg.tRP
+        else:
+            # Ablation: release the bank after the read phase.
+            occupancy = cfg.tRAS + cfg.tRP
+        t_bank = self._reserve_bank(vault, bank, t_vault, occupancy)
+        data_at_fu = t_bank + cfg.tRCD + cfg.tCL
+        pool = self._fp_fu_free[vault] if is_fp else self._fu_free[vault]
+        fu_start = self._reserve_fu(pool, data_at_fu, fu_time)
+        result_ready = fu_start + fu_time
+
+        self.stats.dram_activates += 1
+        self.stats.dram_reads += 1
+        self.stats.dram_writes += 1
+        if is_fp:
+            self.stats.fu_fp_ops += 1
+        else:
+            self.stats.fu_int_ops += 1
+
+        t_resp = self._reserve_resp_link(
+            result_ready + cfg.vault_overhead, resp_flits
+        )
+        completion = t_resp + cfg.link_latency
+        return completion, command_returns(command, host_consumes)
+
+    def _count(self, kind: TransactionKind, req: int, resp: int) -> None:
+        self.stats.requests[kind] += 1
+        self.stats.request_flits[kind] += req
+        self.stats.response_flits[kind] += resp

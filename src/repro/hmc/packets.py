@@ -1,0 +1,76 @@
+"""Link packet FLIT accounting (Table V).
+
+HMC links carry packets composed of 128-bit FLITs.  A 64-byte READ
+costs 1 request FLIT (header/tail only) and 5 response FLITs (header +
+4 data); a WRITE is the mirror image.  Atomic requests carry one data
+FLIT (the immediate), so they cost 2 request FLITs and 1-2 response
+FLITs depending on whether data returns — this asymmetry is the source
+of GraphPIM's bandwidth savings (Figure 12).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.common.errors import ConfigError
+from repro.hmc.commands import HmcCommand, command_returns
+
+
+class TransactionKind(Enum):
+    """Link transaction classes with distinct FLIT costs (Table V)."""
+
+    READ_64 = "64-byte READ"
+    WRITE_64 = "64-byte WRITE"
+    ATOMIC_NO_RETURN = "add without return"
+    ATOMIC_WITH_RETURN = "add with return"
+    ATOMIC_CAS_LIKE = "boolean/bitwise/CAS"
+    ATOMIC_COMPARE = "compare if equal"
+
+
+#: (request FLITs, response FLITs) per transaction kind — Table V.
+FLITS_PER_TRANSACTION: dict[TransactionKind, tuple[int, int]] = {
+    TransactionKind.READ_64: (1, 5),
+    TransactionKind.WRITE_64: (5, 1),
+    TransactionKind.ATOMIC_NO_RETURN: (2, 1),
+    TransactionKind.ATOMIC_WITH_RETURN: (2, 2),
+    TransactionKind.ATOMIC_CAS_LIKE: (2, 2),
+    TransactionKind.ATOMIC_COMPARE: (2, 1),
+}
+
+_CAS_LIKE = frozenset(
+    {
+        HmcCommand.SWAP,
+        HmcCommand.BIT_WRITE,
+        HmcCommand.AND,
+        HmcCommand.NAND,
+        HmcCommand.OR,
+        HmcCommand.NOR,
+        HmcCommand.XOR,
+        HmcCommand.CAS_EQUAL,
+        HmcCommand.CAS_ZERO,
+        HmcCommand.CAS_GREATER,
+        HmcCommand.CAS_LESS,
+    }
+)
+
+
+def atomic_transaction_kind(
+    command: HmcCommand, host_consumes_value: bool
+) -> TransactionKind:
+    """Classify a PIM-Atomic command into its Table V row."""
+    if command is HmcCommand.COMPARE_EQUAL:
+        return TransactionKind.ATOMIC_COMPARE
+    if command in _CAS_LIKE:
+        return TransactionKind.ATOMIC_CAS_LIKE
+    # Add-style commands (including the FP extension).
+    if command_returns(command, host_consumes_value):
+        return TransactionKind.ATOMIC_WITH_RETURN
+    return TransactionKind.ATOMIC_NO_RETURN
+
+
+def flits_for(kind: TransactionKind) -> tuple[int, int]:
+    """(request, response) FLIT counts for a transaction kind."""
+    try:
+        return FLITS_PER_TRANSACTION[kind]
+    except KeyError:
+        raise ConfigError(f"unknown transaction kind {kind!r}") from None

@@ -1,0 +1,26 @@
+"""Simulated virtual-memory layout.
+
+The paper's data-component analysis (Section II-C) splits graph-workload
+memory into *meta data*, *graph structure*, and *graph property*; the
+GraphPIM design then places the property component in a PIM Memory
+Region (PMR) via ``pmr_malloc``.  This package models that address
+space: region-tagged bump allocators hand out simulated addresses, and
+the trace/timing layers classify every access by region with a shift.
+"""
+
+from repro.memlayout.regions import (
+    REGION_BASE,
+    REGION_SHIFT,
+    Region,
+    region_of,
+)
+from repro.memlayout.allocator import AddressSpace, Allocation
+
+__all__ = [
+    "REGION_BASE",
+    "REGION_SHIFT",
+    "AddressSpace",
+    "Allocation",
+    "Region",
+    "region_of",
+]

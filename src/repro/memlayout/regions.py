@@ -1,0 +1,34 @@
+"""Address-region tagging.
+
+Simulated virtual addresses encode their data component in the high
+bits: ``region = addr >> REGION_SHIFT``.  This makes per-access region
+classification a single shift in the replay hot loop instead of an
+interval lookup.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+#: Bits reserved for the intra-region offset (1 TiB per region).
+REGION_SHIFT = 40
+
+
+class Region(IntEnum):
+    """The paper's three data components (Section II-C, Figure 3)."""
+
+    #: Local variables, task queues, frontiers — cache friendly.
+    META = 0
+    #: CSR offsets/columns — streamed with good spatial locality.
+    STRUCTURE = 1
+    #: Per-vertex property arrays — irregular, the offloading target.
+    PROPERTY = 2
+
+
+#: Base simulated virtual address of each region.
+REGION_BASE = {region: region.value << REGION_SHIFT for region in Region}
+
+
+def region_of(addr: int) -> Region:
+    """Classify a simulated address into its data-component region."""
+    return Region(addr >> REGION_SHIFT)

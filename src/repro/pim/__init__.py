@@ -1,0 +1,25 @@
+"""GraphPIM offloading logic: the PIM Offloading Unit and applicability.
+
+The POU (Section III-B) sits in each host core and routes atomic
+instructions whose address falls inside the PIM Memory Region to the
+HMC as PIM-Atomic commands; everything else follows the conventional
+path.  :mod:`repro.pim.applicability` reproduces the Table II/III
+workload analyses.
+"""
+
+from repro.pim.offload import OffloadDecision, PimOffloadUnit
+from repro.pim.applicability import (
+    ApplicabilityRow,
+    OffloadTargetRow,
+    applicability_table,
+    offload_target_table,
+)
+
+__all__ = [
+    "ApplicabilityRow",
+    "OffloadDecision",
+    "OffloadTargetRow",
+    "PimOffloadUnit",
+    "applicability_table",
+    "offload_target_table",
+]

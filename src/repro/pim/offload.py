@@ -1,0 +1,55 @@
+"""The PIM Offloading Unit (POU).
+
+GraphPIM adds no new host instructions: the POU inspects each atomic
+instruction's target address, and if it falls inside the uncacheable
+PIM Memory Region, the instruction is sent to the HMC as the equivalent
+PIM-Atomic command (Figure 6).  Atomics outside the PMR — and FP-add
+loops when the proposed extension is absent — execute on the host as
+usual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hmc.commands import (
+    EXTENSION_COMMANDS,
+    HmcCommand,
+    command_for_atomic,
+)
+from repro.trace.events import AtomicOp
+
+
+@dataclass(frozen=True)
+class OffloadDecision:
+    """Outcome of the POU's routing decision for one atomic."""
+
+    offload: bool
+    command: HmcCommand | None
+    reason: str
+
+
+class PimOffloadUnit:
+    """Per-core offload router (stateless; shared instance is fine)."""
+
+    def __init__(self, fp_extension: bool = True):
+        self.fp_extension = fp_extension
+
+    def decide(self, op: AtomicOp, in_pmr: bool) -> OffloadDecision:
+        """Route one host atomic instruction.
+
+        ``in_pmr`` is the address-range check against the PMR; the
+        operation itself determines whether an HMC command exists.
+        """
+        if not in_pmr:
+            return OffloadDecision(
+                offload=False, command=None, reason="address outside PMR"
+            )
+        command = command_for_atomic(op)
+        if command in EXTENSION_COMMANDS and not self.fp_extension:
+            return OffloadDecision(
+                offload=False,
+                command=None,
+                reason="requires FP-add/sub extension (not present)",
+            )
+        return OffloadDecision(offload=True, command=command, reason="PMR atomic")

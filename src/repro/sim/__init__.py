@@ -1,0 +1,23 @@
+"""Trace-driven timing simulation: caches, cores, system assembly.
+
+Phase 2 of the reproduction pipeline: per-thread traces from
+:mod:`repro.framework` are replayed through a bounded-window core model
+over a three-level inclusive cache hierarchy and the HMC device, under
+one of three system modes (baseline / U-PEI / GraphPIM).
+"""
+
+from repro.sim.cache import CacheConfig, CacheHierarchy, CacheLevelStats
+from repro.sim.config import Mode, SystemConfig
+from repro.sim.core import CoreStats
+from repro.sim.system import SimResult, simulate
+
+__all__ = [
+    "CacheConfig",
+    "CacheHierarchy",
+    "CacheLevelStats",
+    "CoreStats",
+    "Mode",
+    "SimResult",
+    "SystemConfig",
+    "simulate",
+]

@@ -1,0 +1,273 @@
+"""Three-level inclusive cache hierarchy with a MESI-lite directory.
+
+Per-core private L1/L2, shared L3 (Table IV).  Inclusion is enforced:
+an L3 eviction back-invalidates every private copy.  The directory at
+L3 tracks which cores hold each line, so atomic RMWs can charge the
+coherence cost of invalidating remote copies — the
+"cache invalidation and coherence traffic" half of the paper's atomic
+overhead (Section II-D).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.common.units import CACHE_LINE_BYTES, KB
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and access latency of one cache level."""
+
+    size_bytes: int
+    ways: int
+    latency: float
+    line_bytes: int = CACHE_LINE_BYTES
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0:
+            raise ConfigError("cache size and ways must be positive")
+        if self.size_bytes % (self.ways * self.line_bytes):
+            raise ConfigError(
+                f"cache size {self.size_bytes} not divisible by "
+                f"{self.ways} ways x {self.line_bytes}B lines"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+
+@dataclass
+class CacheLevelStats:
+    """Hit/miss counters for one level (aggregated over cores)."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def mpki(self, kilo_instructions: float) -> float:
+        """Misses per kilo-instruction (Figure 2)."""
+        return self.misses / kilo_instructions if kilo_instructions else 0.0
+
+
+class _SetAssocCache:
+    """A single set-associative LRU cache holding line addresses."""
+
+    __slots__ = ("num_sets", "ways", "sets")
+
+    def __init__(self, config: CacheConfig):
+        self.num_sets = config.num_sets
+        self.ways = config.ways
+        self.sets: list[OrderedDict] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+
+    def lookup(self, line: int) -> bool:
+        """Probe and update LRU on hit."""
+        s = self.sets[line % self.num_sets]
+        if line in s:
+            s.move_to_end(line)
+            return True
+        return False
+
+    def insert(self, line: int) -> int | None:
+        """Insert a line; returns the evicted line, if any."""
+        s = self.sets[line % self.num_sets]
+        if line in s:
+            s.move_to_end(line)
+            return None
+        victim = None
+        if len(s) >= self.ways:
+            victim, _ = s.popitem(last=False)
+        s[line] = True
+        return victim
+
+    def invalidate(self, line: int) -> bool:
+        """Drop a line; returns whether it was present."""
+        s = self.sets[line % self.num_sets]
+        return s.pop(line, None) is not None
+
+    def __contains__(self, line: int) -> bool:
+        return line in self.sets[line % self.num_sets]
+
+
+class CacheHierarchy:
+    """Private L1/L2 per core, shared inclusive L3 with a directory."""
+
+    #: Extra cycles charged when an RMW must invalidate remote copies.
+    COHERENCE_PENALTY = 24.0
+
+    def __init__(
+        self,
+        num_cores: int,
+        l1: CacheConfig,
+        l2: CacheConfig,
+        l3: CacheConfig,
+        prefetch_next_line: bool = False,
+    ):
+        if num_cores < 1:
+            raise ConfigError("need at least one core")
+        self.num_cores = num_cores
+        #: Idealized next-line prefetcher at the LLC: on an L3 miss the
+        #: successor line is installed for free.  Helps streaming
+        #: structure access; cannot help irregular property access
+        #: (the Section II-C claim the ablation bench checks).
+        self.prefetch_next_line = prefetch_next_line
+        self.prefetches_issued = 0
+        self.l1_config, self.l2_config, self.l3_config = l1, l2, l3
+        self._l1 = [_SetAssocCache(l1) for _ in range(num_cores)]
+        self._l2 = [_SetAssocCache(l2) for _ in range(num_cores)]
+        self._l3 = _SetAssocCache(l3)
+        #: line -> set of core ids with a private copy.
+        self._directory: dict[int, set[int]] = {}
+        #: lines dirty at the L3 level (written back to memory on evict).
+        self._dirty: set[int] = set()
+        self.l1_stats = CacheLevelStats()
+        self.l2_stats = CacheLevelStats()
+        self.l3_stats = CacheLevelStats()
+        self.invalidations = 0
+        self.writebacks = 0
+
+    def line_of(self, addr: int) -> int:
+        """Line address (64-byte aligned)."""
+        return addr >> 6
+
+    # ------------------------------------------------------------------
+    # Main access path
+    # ------------------------------------------------------------------
+
+    def access(
+        self, core: int, addr: int, is_write: bool
+    ) -> tuple[int, float, bool, list[int]]:
+        """Access the hierarchy for one core.
+
+        Returns ``(hit_level, lookup_latency, coherence_hit, writebacks)``
+        where ``hit_level`` is 1/2/3 or 0 for a memory access,
+        ``lookup_latency`` covers the cache-checking walk (fill latency
+        from memory is the caller's job via the HMC device),
+        ``coherence_hit`` flags that remote copies were invalidated, and
+        ``writebacks`` lists dirty victim lines that must go to memory.
+        """
+        line = self.line_of(addr)
+        l1, l2 = self._l1[core], self._l2[core]
+        writebacks: list[int] = []
+        coherence_hit = False
+
+        if l1.lookup(line):
+            self.l1_stats.hits += 1
+            hit_level, latency = 1, self.l1_config.latency
+        else:
+            self.l1_stats.misses += 1
+            if l2.lookup(line):
+                self.l2_stats.hits += 1
+                hit_level = 2
+                latency = self.l1_config.latency + self.l2_config.latency
+                self._fill_l1(core, line, writebacks)
+            else:
+                self.l2_stats.misses += 1
+                latency = (
+                    self.l1_config.latency
+                    + self.l2_config.latency
+                    + self.l3_config.latency
+                )
+                if self._l3.lookup(line):
+                    self.l3_stats.hits += 1
+                    hit_level = 3
+                else:
+                    self.l3_stats.misses += 1
+                    hit_level = 0
+                    self._fill_l3(line, writebacks)
+                    if self.prefetch_next_line and line + 1 not in self._l3:
+                        self._fill_l3(line + 1, writebacks)
+                        self.prefetches_issued += 1
+                self._fill_l2(core, line, writebacks)
+                self._fill_l1(core, line, writebacks)
+                self._directory.setdefault(line, set()).add(core)
+
+        if is_write:
+            coherence_hit = self._invalidate_remote(core, line)
+            self._dirty.add(line)
+        if hit_level in (1, 2):
+            self._directory.setdefault(line, set()).add(core)
+        return hit_level, latency, coherence_hit, writebacks
+
+    def probe(self, core: int, addr: int) -> int:
+        """Non-mutating locality check (U-PEI's monitor): 1/2/3/0."""
+        line = self.line_of(addr)
+        if line in self._l1[core]:
+            return 1
+        if line in self._l2[core]:
+            return 2
+        if line in self._l3:
+            return 3
+        return 0
+
+    # ------------------------------------------------------------------
+    # Fill / eviction plumbing
+    # ------------------------------------------------------------------
+
+    def _fill_l1(self, core: int, line: int, writebacks: list[int]) -> None:
+        victim = self._l1[core].insert(line)
+        if victim is not None:
+            self._drop_private(core, victim)
+
+    def _fill_l2(self, core: int, line: int, writebacks: list[int]) -> None:
+        victim = self._l2[core].insert(line)
+        if victim is not None:
+            # Inclusion between L1 and L2: kick the line out of L1 too.
+            self._l1[core].invalidate(victim)
+            self._drop_private(core, victim)
+
+    def _fill_l3(self, line: int, writebacks: list[int]) -> None:
+        victim = self._l3.insert(line)
+        if victim is not None:
+            # Inclusive L3: back-invalidate every private copy.
+            for owner in self._directory.pop(victim, ()):  # pragma: no branch
+                self._l1[owner].invalidate(victim)
+                self._l2[owner].invalidate(victim)
+                self.invalidations += 1
+            if victim in self._dirty:
+                self._dirty.discard(victim)
+                self.writebacks += 1
+                writebacks.append(victim << 6)
+
+    def _drop_private(self, core: int, line: int) -> None:
+        """Remove a core from a line's sharer set if it lost all copies."""
+        if line in self._l1[core] or line in self._l2[core]:
+            return
+        owners = self._directory.get(line)
+        if owners is not None:
+            owners.discard(core)
+            if not owners:
+                del self._directory[line]
+
+    def _invalidate_remote(self, core: int, line: int) -> bool:
+        """Invalidate other cores' copies for an RFO; True if any."""
+        owners = self._directory.get(line)
+        if not owners:
+            return False
+        others = [c for c in owners if c != core]
+        for other in others:
+            self._l1[other].invalidate(line)
+            self._l2[other].invalidate(line)
+            owners.discard(other)
+            self.invalidations += 1
+        return bool(others)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def level_stats(self) -> dict[str, CacheLevelStats]:
+        """Stats keyed by level name."""
+        return {"L1": self.l1_stats, "L2": self.l2_stats, "L3": self.l3_stats}

@@ -1,0 +1,325 @@
+"""Bounded-window core timing model.
+
+Each core replays one thread's trace against the shared cache hierarchy
+and HMC device.  The model captures the first-order effects the paper
+builds on:
+
+- non-memory instructions retire at the issue width;
+- ordinary loads overlap through a bounded outstanding-miss window
+  (memory-level parallelism);
+- host atomics serialize: the write buffer drains, the pipeline freezes
+  for the duration of the cache walk + coherence + memory RMW
+  (Section II-D / Figure 9's Atomic-inCore and Atomic-inCache);
+- offloaded PIM atomics are plain memory requests — posted when the
+  program ignores the old value, blocking the dependent consumer when
+  it does not (Figure 8);
+- in GraphPIM mode, every PMR access bypasses the caches.
+
+Clocks are floats in host-core cycles.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.dram.memory_system import MemorySystem
+from repro.hmc.commands import command_for_atomic
+from repro.memlayout.regions import REGION_SHIFT, Region
+from repro.sim.cache import CacheHierarchy
+from repro.sim.config import Mode, SystemConfig
+from repro.trace.events import (
+    EV_ATOMIC,
+    EV_BARRIER,
+    EV_LOAD,
+    EV_STORE,
+    is_fp_op,
+)
+
+#: Core.step() return states.
+STEP_OK = 0
+STEP_BARRIER = 1
+STEP_DONE = 2
+
+_PROPERTY_REGION = int(Region.PROPERTY)
+
+
+@dataclass
+class CoreStats:
+    """Per-core cycle and event accounting (aggregated by SimResult)."""
+
+    instructions: int = 0
+    issue_cycles: float = 0.0
+    mem_stall_cycles: float = 0.0
+    atomic_incore_cycles: float = 0.0
+    atomic_incache_cycles: float = 0.0
+    host_atomics: int = 0
+    offloaded_atomics: int = 0
+    upei_cache_atomics: int = 0
+    candidate_total: int = 0
+    candidate_llc_miss: int = 0
+    candidate_l1_hit: int = 0
+    candidate_l2_hit: int = 0
+    candidate_l3_hit: int = 0
+
+    def merge(self, other: "CoreStats") -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+class Core:
+    """Replays one thread trace; shared resources are injected."""
+
+    def __init__(
+        self,
+        core_id: int,
+        events: list,
+        config: SystemConfig,
+        hierarchy: CacheHierarchy,
+        memory: MemorySystem,
+    ):
+        self.core_id = core_id
+        self.events = events
+        self.pos = 0
+        self.t = 0.0
+        self.config = config
+        self.hierarchy = hierarchy
+        self.memory = memory
+        self.outstanding: list[float] = []
+        self.stats = CoreStats()
+        self.pending_barrier: int | None = None
+
+        # Hoisted hot-path constants.
+        self._inv_issue = 1.0 / config.issue_width
+        self._mlp = config.mlp
+        self._mode = config.mode
+        self._is_graphpim = config.mode is Mode.GRAPHPIM
+        self._bypass = (
+            config.mode is Mode.GRAPHPIM and config.pmr_bypass
+        )
+        self._is_upei = config.mode is Mode.UPEI
+        self._is_baseline = config.mode is Mode.BASELINE
+        self._fp_ext = config.fp_extension
+        self._freeze = config.atomic_freeze_cycles
+        self._fp_extra = config.fp_atomic_extra_cycles
+        self._upei_op = config.upei_host_op_cycles
+        self._uc_posted = config.uc_posted_issue_cycles
+        self._offload_issue = config.offload_issue_cycles
+        self._walk_latency = (
+            config.l1.latency + config.l2.latency + config.l3.latency
+        )
+        self._hybrid = memory.is_hybrid
+
+    # ------------------------------------------------------------------
+    # Window helpers
+    # ------------------------------------------------------------------
+
+    def _window_push(self, completion: float) -> None:
+        """Track an overlappable memory op; stall if the window is full."""
+        out = self.outstanding
+        if len(out) >= self._mlp:
+            earliest = heapq.heappop(out)
+            if earliest > self.t:
+                self.stats.mem_stall_cycles += earliest - self.t
+                self.t = earliest
+        heapq.heappush(out, completion)
+
+    def _drain(self) -> float:
+        """Write-buffer drain: wait for every outstanding op."""
+        out = self.outstanding
+        latest = self.t
+        while out:
+            completion = heapq.heappop(out)
+            if completion > latest:
+                latest = completion
+        waited = latest - self.t
+        self.t = latest
+        return waited
+
+    # ------------------------------------------------------------------
+    # Event dispatch
+    # ------------------------------------------------------------------
+
+    def step(self) -> int:
+        """Process one event; returns STEP_OK / STEP_BARRIER / STEP_DONE."""
+        if self.pos >= len(self.events):
+            return STEP_DONE
+        event = self.events[self.pos]
+        self.pos += 1
+        kind = event[0]
+
+        if kind == EV_BARRIER:
+            gap = event[2]
+            if gap:
+                self.stats.instructions += gap
+                issue = gap * self._inv_issue
+                self.t += issue
+                self.stats.issue_cycles += issue
+            self.pending_barrier = event[1]
+            return STEP_BARRIER
+
+        addr = event[1]
+        gap = event[3]
+        n_instr = gap + 1
+        self.stats.instructions += n_instr
+        issue = n_instr * self._inv_issue
+        self.t += issue
+        self.stats.issue_cycles += issue
+        in_pmr = (addr >> REGION_SHIFT) == _PROPERTY_REGION
+        if in_pmr and self._hybrid and not self.memory.in_hmc(addr):
+            # Hybrid memory (Section III-B): DDR-resident property is
+            # processed conventionally — cached, host atomics.
+            in_pmr = False
+
+        if kind == EV_LOAD:
+            self._load(addr, in_pmr)
+        elif kind == EV_STORE:
+            self._store(addr, in_pmr)
+        else:  # EV_ATOMIC
+            self._atomic(addr, in_pmr, event[4], event[5])
+        return STEP_OK
+
+    # ------------------------------------------------------------------
+    # Loads / stores
+    # ------------------------------------------------------------------
+
+    def _load(self, addr: int, in_pmr: bool) -> None:
+        if in_pmr and self._bypass:
+            # UC semantics: bypass the hierarchy, fetch from HMC.
+            self._window_push(self.memory.read(addr, self.t))
+            return
+        level, latency, _coh, writebacks = self.hierarchy.access(
+            self.core_id, addr, False
+        )
+        if level == 0:
+            t_mem = self.t + latency
+            completion = self.memory.read(addr, t_mem)
+            for wb_addr in writebacks:
+                self.memory.write(wb_addr, t_mem)
+            self._window_push(completion)
+        elif level >= 2:
+            # L2/L3 hits are long enough to occupy a window slot.
+            self._window_push(self.t + latency)
+        # L1 hits are absorbed by the out-of-order window.
+
+    def _store(self, addr: int, in_pmr: bool) -> None:
+        if in_pmr and self._bypass:
+            # UC store: posted, but strongly ordered — the core waits
+            # for acceptance by the memory system.
+            self.memory.write(addr, self.t)
+            self.t += self._uc_posted
+            self.stats.mem_stall_cycles += self._uc_posted
+            return
+        level, latency, _coh, writebacks = self.hierarchy.access(
+            self.core_id, addr, True
+        )
+        if level == 0:
+            # Write-allocate: the line fill occupies a window slot; the
+            # store itself retires through the store buffer.
+            t_mem = self.t + latency
+            completion = self.memory.read(addr, t_mem)
+            for wb_addr in writebacks:
+                self.memory.write(wb_addr, t_mem)
+            self._window_push(completion)
+
+    # ------------------------------------------------------------------
+    # Atomics
+    # ------------------------------------------------------------------
+
+    def _atomic(self, addr: int, in_pmr: bool, op, with_return: bool) -> None:
+        offloadable = in_pmr and (self._fp_ext or not is_fp_op(op))
+        if self._is_graphpim and offloadable:
+            self._pim_atomic(addr, op, with_return)
+        elif self._is_upei and offloadable:
+            self._upei_atomic(addr, op, with_return)
+        else:
+            self._host_atomic(addr, in_pmr, op)
+
+    def _host_atomic(self, addr: int, candidate: bool, op) -> None:
+        """Conventional lock-prefixed RMW in the host core."""
+        stats = self.stats
+        drain_wait = self._drain()
+        level, latency, coherence_hit, writebacks = self.hierarchy.access(
+            self.core_id, addr, True
+        )
+        if candidate and self._is_baseline:
+            stats.candidate_total += 1
+            if level == 0:
+                stats.candidate_llc_miss += 1
+            elif level == 1:
+                stats.candidate_l1_hit += 1
+            elif level == 2:
+                stats.candidate_l2_hit += 1
+            else:
+                stats.candidate_l3_hit += 1
+
+        mem_latency = 0.0
+        if level == 0:
+            t_mem = self.t + latency
+            completion = self.memory.read(addr, t_mem)
+            for wb_addr in writebacks:
+                self.memory.write(wb_addr, t_mem)
+            mem_latency = completion - t_mem
+        coherence_penalty = (
+            CacheHierarchy.COHERENCE_PENALTY if coherence_hit else 0.0
+        )
+        fp_extra = self._fp_extra if is_fp_op(op) else 0.0
+
+        incore = drain_wait + self._freeze + mem_latency + fp_extra
+        incache = latency + coherence_penalty
+        self.t += self._freeze + mem_latency + fp_extra + latency + coherence_penalty
+        stats.atomic_incore_cycles += incore
+        stats.atomic_incache_cycles += incache
+        stats.host_atomics += 1
+
+    def _pim_atomic(self, addr: int, op, with_return: bool) -> None:
+        """GraphPIM: offload to the HMC logic layer via the POU."""
+        command = command_for_atomic(op)
+        completion, _returns = self.memory.pim_atomic(
+            command, addr, self.t, with_return
+        )
+        self.stats.offloaded_atomics += 1
+        # Every HMC atomic returns a response (at minimum the atomic
+        # flag, Table I/V), and the PMR is uncacheable, so the request
+        # is strongly ordered: the core waits for the response before
+        # the dependent instruction block (Figure 8) can retire.  This
+        # wait is a memory stall, not atomic-instruction overhead.
+        if completion > self.t:
+            self.stats.mem_stall_cycles += completion - self.t
+            self.t = completion
+        self.t += self._offload_issue
+        self.stats.mem_stall_cycles += self._offload_issue
+
+    def _upei_atomic(self, addr: int, op, with_return: bool) -> None:
+        """Idealized PEI: host-side execution on cache hit, else offload.
+
+        The locality probe and cache walk are on the critical path (PEI
+        checks the cache before dispatching), but coherence management
+        is free — this is the configuration's idealization.
+        """
+        stats = self.stats
+        level = self.hierarchy.probe(self.core_id, addr)
+        if level:
+            _level, latency, _coh, _wb = self.hierarchy.access(
+                self.core_id, addr, True
+            )
+            self.t += latency + self._upei_op
+            stats.upei_cache_atomics += 1
+            stats.atomic_incache_cycles += latency + self._upei_op
+            return
+        command = command_for_atomic(op)
+        self.t += self._walk_latency
+        stats.atomic_incache_cycles += self._walk_latency
+        completion, _returns = self.memory.pim_atomic(
+            command, addr, self.t, with_return
+        )
+        # PEI does not bypass the cache for PIM data: the line is
+        # installed alongside the offloaded op (coherence write-back is
+        # free under the idealization), so later candidates can hit.
+        self.hierarchy.access(self.core_id, addr, True)
+        stats.offloaded_atomics += 1
+        if completion > self.t:
+            stats.mem_stall_cycles += completion - self.t
+            self.t = completion
+        self.t += self._offload_issue
+        stats.mem_stall_cycles += self._offload_issue

@@ -1,0 +1,102 @@
+"""Trace serialization.
+
+Phase-1 trace generation (functional workload execution) is the
+expensive half of the pipeline for large graphs; saving traces lets a
+user trace once and replay under many system configurations, across
+processes.  Traces are stored as compressed ``.npz`` bundles with one
+column-oriented array set per thread.
+
+Event columns: ``kind``, ``addr``, ``size`` (barrier id for barrier
+events), ``gap``, ``op`` (-1 when not an atomic), ``ret`` (0/1).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.common.errors import TraceError
+from repro.trace.events import (
+    EV_ATOMIC,
+    EV_BARRIER,
+    EV_LOAD,
+    EV_STORE,
+    AtomicOp,
+)
+from repro.trace.stream import ThreadTrace, Trace
+
+_FORMAT_VERSION = 1
+
+
+def _encode_thread(thread: ThreadTrace) -> np.ndarray:
+    """Pack one thread's events into an (N, 6) int64 matrix."""
+    rows = np.empty((len(thread.events), 6), dtype=np.int64)
+    for i, event in enumerate(thread.events):
+        kind = event[0]
+        if kind == EV_BARRIER:
+            rows[i] = (kind, 0, event[1], event[2], -1, 0)
+        elif kind == EV_ATOMIC:
+            rows[i] = (
+                kind,
+                event[1],
+                event[2],
+                event[3],
+                int(event[4]),
+                int(event[5]),
+            )
+        else:
+            rows[i] = (kind, event[1], event[2], event[3], -1, 0)
+    return rows
+
+
+def _decode_thread(thread_id: int, rows: np.ndarray) -> ThreadTrace:
+    """Unpack an (N, 6) matrix back into event tuples."""
+    thread = ThreadTrace(thread_id)
+    events = thread.events
+    for kind, addr, size, gap, op, ret in rows.tolist():
+        if kind == EV_BARRIER:
+            events.append((EV_BARRIER, size, gap))
+        elif kind == EV_ATOMIC:
+            events.append(
+                (EV_ATOMIC, addr, size, gap, AtomicOp(op), bool(ret))
+            )
+        elif kind in (EV_LOAD, EV_STORE):
+            events.append((kind, addr, size, gap))
+        else:
+            raise TraceError(f"unknown event kind {kind} in trace file")
+    return thread
+
+
+def save_trace(trace: Trace, path: str | os.PathLike) -> None:
+    """Write ``trace`` to a compressed ``.npz`` bundle."""
+    payload = {
+        "version": np.asarray([_FORMAT_VERSION]),
+        "name": np.asarray([trace.name]),
+        "thread_ids": np.asarray(
+            [t.thread_id for t in trace.threads], dtype=np.int64
+        ),
+    }
+    for thread in trace.threads:
+        payload[f"thread_{thread.thread_id}"] = _encode_thread(thread)
+    np.savez_compressed(path, **payload)
+
+
+def load_trace(path: str | os.PathLike) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    with np.load(path, allow_pickle=False) as bundle:
+        version = int(bundle["version"][0])
+        if version != _FORMAT_VERSION:
+            raise TraceError(
+                f"unsupported trace format version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        name = str(bundle["name"][0])
+        thread_ids = bundle["thread_ids"].tolist()
+        threads = [
+            _decode_thread(tid, bundle[f"thread_{tid}"])
+            for tid in thread_ids
+        ]
+    trace = Trace(threads, name=name)
+    trace.validate_barriers()
+    return trace

@@ -1,0 +1,96 @@
+"""Workload base class and run records."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.framework.context import FrameworkContext
+from repro.graph.csr import CsrGraph
+from repro.memlayout.allocator import AddressSpace
+from repro.trace.events import AtomicOp
+from repro.trace.stats import TraceStats, summarize_trace
+from repro.trace.stream import Trace
+
+
+class Category(Enum):
+    """The paper's workload taxonomy (Section II-B)."""
+
+    GRAPH_TRAVERSAL = "GT"
+    RICH_PROPERTY = "RP"
+    DYNAMIC_GRAPH = "DG"
+
+
+@dataclass
+class WorkloadRun:
+    """Everything produced by one functional workload execution."""
+
+    workload: "Workload"
+    trace: Trace
+    address_space: AddressSpace
+    outputs: dict[str, Any] = field(default_factory=dict)
+    _stats: TraceStats | None = field(default=None, repr=False)
+
+    @property
+    def stats(self) -> TraceStats:
+        """Lazily computed static trace statistics."""
+        if self._stats is None:
+            self._stats = summarize_trace(self.trace)
+        return self._stats
+
+
+class Workload(abc.ABC):
+    """A GraphBIG-equivalent workload.
+
+    Subclasses define the identification metadata used by Tables II/III
+    and implement :meth:`execute`, which runs the algorithm against a
+    :class:`FrameworkContext` and returns its functional outputs.
+    """
+
+    #: Short name used in the paper's figures (e.g. "BFS", "kCore").
+    code: str = ""
+    #: Human-readable name as in Table III.
+    name: str = ""
+    category: Category = Category.GRAPH_TRAVERSAL
+    #: Host atomic instruction offloaded (Table II), None if inapplicable.
+    host_instruction: str | None = None
+    #: Primary PIM-Atomic op used, None if inapplicable.
+    pim_op: AtomicOp | None = None
+    #: Whether HMC 2.0 atomics (plus the FP extension, if flagged) cover
+    #: this workload's property updates (Table III).
+    applicable: bool = True
+    #: Whether applicability relies on the FP-add/sub extension.
+    needs_fp_extension: bool = False
+    #: Table III's "missing operation" note when not applicable.
+    missing_operation: str | None = None
+
+    @abc.abstractmethod
+    def execute(self, ctx: FrameworkContext, graph: CsrGraph, **params) -> dict:
+        """Run the algorithm, recording its trace into ``ctx``.
+
+        Returns functional outputs for correctness checking.
+        """
+
+    def run(
+        self,
+        graph: CsrGraph,
+        num_threads: int = 16,
+        plain_atomics: bool = False,
+        **params,
+    ) -> WorkloadRun:
+        """Execute on a fresh context and seal the trace."""
+        ctx = FrameworkContext(num_threads=num_threads, name=self.code)
+        ctx.plain_atomics = plain_atomics
+        outputs = self.execute(ctx, graph, **params)
+        trace = ctx.finish()
+        return WorkloadRun(
+            workload=self,
+            trace=trace,
+            address_space=ctx.address_space,
+            outputs=outputs,
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(code={self.code!r})"

@@ -1,0 +1,244 @@
+"""Dynamic Graph workloads: construction, update, topology morphing.
+
+These workloads mutate the graph structure at run time.  Their critical
+sections involve multiple memory operands (head pointer, node payload,
+size counters), which no single HMC 2.0 atomic can express — Table III
+marks all three inapplicable ("Complex operation").  Their per-vertex
+locks are CAS operations on *structure-region* words, so GraphPIM's
+address-based targeting correctly leaves them on the host.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import DeterministicRng
+from repro.framework.context import FrameworkContext
+from repro.graph.csr import CsrGraph
+from repro.graph.dynamic import DynamicGraph
+from repro.trace.events import AtomicOp
+from repro.trace.stream import ThreadTrace
+from repro.workloads.base import Category, Workload
+from repro.workloads.registry import register
+
+
+class _TracedMutableGraph:
+    """Trace-recording wrapper around :class:`DynamicGraph`.
+
+    Models the memory behavior of a lock-based adjacency-list store:
+    per-vertex lock word + head pointer in the structure region, list
+    nodes bump-allocated from a structure arena, and a metadata edge
+    counter.
+    """
+
+    #: Bytes per adjacency node (target id + next pointer).
+    NODE_BYTES = 16
+
+    def __init__(self, ctx: FrameworkContext, num_vertices: int, arena_nodes: int):
+        self.ctx = ctx
+        self.dyn = DynamicGraph(num_vertices)
+        self.locks = ctx.alloc_structure("dyn.locks", num_vertices, 8)
+        self.heads = ctx.alloc_structure("dyn.heads", num_vertices, 8)
+        self.arena = ctx.alloc_structure(
+            "dyn.arena", arena_nodes, self.NODE_BYTES
+        )
+        self.edge_counter = ctx.alloc_meta("dyn.edge_count", 1, 8)
+        self._next_node = 0
+
+    def _lock(self, trace: ThreadTrace, vertex: int) -> None:
+        # Spinlock acquire: CAS on a structure-region word.  Not a PMR
+        # address, so never a PIM offload candidate.
+        trace.atomic(AtomicOp.CAS, self.locks.addr_of(vertex), 8, True)
+
+    def _unlock(self, trace: ThreadTrace, vertex: int) -> None:
+        trace.store(self.locks.addr_of(vertex), 8)
+
+    def insert_edge(self, trace: ThreadTrace, src: int, dst: int) -> None:
+        """Locked head insertion of a new adjacency node."""
+        trace.work(6)
+        self._lock(trace, src)
+        trace.load(self.heads.addr_of(src), 8)
+        node = self._next_node % self.arena.num_elements
+        self._next_node += 1
+        trace.store(self.arena.addr_of(node), self.NODE_BYTES)
+        trace.store(self.heads.addr_of(src), 8)
+        self._unlock(trace, src)
+        trace.load(self.edge_counter.addr_of(0), 8)
+        trace.store(self.edge_counter.addr_of(0), 8)
+        self.dyn.add_edge(src, dst)
+
+    def delete_edge(self, trace: ThreadTrace, src: int, dst: int) -> bool:
+        """Locked unlink: walks the list to find the node."""
+        trace.work(6)
+        self._lock(trace, src)
+        trace.load(self.heads.addr_of(src), 8)
+        found = False
+        for position, neighbor in enumerate(self.dyn.neighbors(src)):
+            trace.work(2)
+            trace.load(
+                self.arena.addr_of(position % self.arena.num_elements),
+                self.NODE_BYTES,
+            )
+            if neighbor == dst:
+                found = True
+                break
+        if found:
+            trace.store(self.heads.addr_of(src), 8)
+            self.dyn.remove_edge(src, dst)
+            trace.load(self.edge_counter.addr_of(0), 8)
+            trace.store(self.edge_counter.addr_of(0), 8)
+        self._unlock(trace, src)
+        return found
+
+
+class GraphConstruction(Workload):
+    """Stream a full edge list into an empty dynamic graph (GCons)."""
+
+    code = "GCons"
+    name = "Graph construction"
+    category = Category.DYNAMIC_GRAPH
+    host_instruction = None
+    pim_op = None
+    applicable = False
+    missing_operation = "Complex operation"
+
+    def execute(self, ctx: FrameworkContext, graph: CsrGraph) -> dict:
+        store = _TracedMutableGraph(
+            ctx, graph.num_vertices, max(graph.num_edges, 1)
+        )
+        edges = [(u, v) for u, v in graph.iter_edges()]
+
+        def insert(tid, trace, edge):
+            store.insert_edge(trace, edge[0], edge[1])
+
+        ctx.parallel_for(edges, insert)
+        return {
+            "edges_inserted": store.dyn.num_edges,
+            "matches_input": store.dyn.num_edges == graph.num_edges,
+        }
+
+
+class GraphUpdate(Workload):
+    """Mixed delete/insert churn on an existing dynamic graph (GUp)."""
+
+    code = "GUp"
+    name = "Graph update"
+    category = Category.DYNAMIC_GRAPH
+    host_instruction = None
+    pim_op = None
+    applicable = False
+    missing_operation = "Complex operation"
+
+    def execute(
+        self,
+        ctx: FrameworkContext,
+        graph: CsrGraph,
+        churn_fraction: float = 0.2,
+        seed: int = 7,
+    ) -> dict:
+        store = _TracedMutableGraph(
+            ctx, graph.num_vertices, max(graph.num_edges * 2, 1)
+        )
+        store.dyn = DynamicGraph.from_csr(graph)
+        rng = DeterministicRng(seed).fork("gup", graph.num_vertices)
+
+        all_edges = [(u, v) for u, v in graph.iter_edges()]
+        num_ops = max(1, int(len(all_edges) * churn_fraction))
+        delete_idx = rng.choice(len(all_edges), size=num_ops, replace=False)
+        deletions = [all_edges[i] for i in delete_idx]
+        insert_src = rng.integers(0, graph.num_vertices, size=num_ops)
+        insert_dst = rng.integers(0, graph.num_vertices, size=num_ops)
+        insertions = list(zip(insert_src.tolist(), insert_dst.tolist()))
+
+        deleted = 0
+
+        def delete(tid, trace, edge):
+            nonlocal deleted
+            if store.delete_edge(trace, edge[0], edge[1]):
+                deleted += 1
+
+        ctx.parallel_for(deletions, delete)
+
+        def insert(tid, trace, edge):
+            store.insert_edge(trace, edge[0], edge[1])
+
+        ctx.parallel_for(insertions, insert)
+        return {
+            "deleted": deleted,
+            "inserted": num_ops,
+            "final_edges": store.dyn.num_edges,
+        }
+
+
+class TopologyMorphing(Workload):
+    """Edge contraction / vertex merging (TMorph).
+
+    Picks random edges and merges the destination into the source —
+    the triangulation-style restructuring the paper cites, involving
+    multi-operand pointer surgery under locks.
+    """
+
+    code = "TMorph"
+    name = "Topology morphing"
+    category = Category.DYNAMIC_GRAPH
+    host_instruction = None
+    pim_op = None
+    applicable = False
+    missing_operation = "Complex operation"
+
+    def execute(
+        self,
+        ctx: FrameworkContext,
+        graph: CsrGraph,
+        merge_fraction: float = 0.05,
+        seed: int = 7,
+    ) -> dict:
+        store = _TracedMutableGraph(
+            ctx, graph.num_vertices, max(graph.num_edges * 2, 1)
+        )
+        store.dyn = DynamicGraph.from_csr(graph)
+        rng = DeterministicRng(seed).fork("tmorph", graph.num_vertices)
+
+        num_merges = max(1, int(graph.num_vertices * merge_fraction))
+        srcs = rng.integers(0, graph.num_vertices, size=num_merges)
+        dsts = rng.integers(0, graph.num_vertices, size=num_merges)
+        merges = [
+            (int(s), int(d)) for s, d in zip(srcs, dsts) if s != d
+        ]
+
+        merged = 0
+
+        def contract(tid, trace, pair):
+            nonlocal merged
+            src, dst = pair
+            trace.work(8)
+            store._lock(trace, src)
+            store._lock(trace, dst)
+            # Walk dst's list, moving each node onto src's list.
+            moved = list(store.dyn.neighbors(dst))
+            for position in range(len(moved)):
+                trace.load(
+                    store.arena.addr_of(position % store.arena.num_elements),
+                    store.NODE_BYTES,
+                )
+                trace.store(
+                    store.arena.addr_of(
+                        (position + 1) % store.arena.num_elements
+                    ),
+                    store.NODE_BYTES,
+                )
+                trace.work(3)
+            trace.store(store.heads.addr_of(src), 8)
+            trace.store(store.heads.addr_of(dst), 8)
+            store.dyn.contract_edge(src, dst)
+            store._unlock(trace, dst)
+            store._unlock(trace, src)
+            merged += 1
+
+        ctx.parallel_for(merges, contract)
+        return {"merged": merged, "final_edges": store.dyn.num_edges}
+
+
+GCONS = register(GraphConstruction())
+GUP = register(GraphUpdate())
+TMORPH = register(TopologyMorphing())

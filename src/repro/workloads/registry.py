@@ -1,0 +1,57 @@
+"""Workload registry.
+
+Workload modules register singleton instances here at import time;
+benches and the harness look them up by code.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.workloads.base import Workload
+
+_REGISTRY: dict[str, Workload] = {}
+
+#: The eight workloads evaluated in Figures 7/9/10/11/12/13/14/15/16.
+FIGURE7_CODES = ("BFS", "CComp", "DC", "kCore", "SSSP", "TC", "BC", "PRank")
+
+
+def register(workload: Workload) -> Workload:
+    """Register a workload instance (module import side effect)."""
+    if not workload.code:
+        raise ConfigError("workload must define a code")
+    if workload.code in _REGISTRY:
+        raise ConfigError(f"duplicate workload code {workload.code!r}")
+    _REGISTRY[workload.code] = workload
+    return workload
+
+
+def get_workload(code: str) -> Workload:
+    """Look up a workload by its short code (e.g. ``"BFS"``)."""
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise ConfigError(
+            f"unknown workload {code!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_workloads() -> list[Workload]:
+    """All registered workloads in registration order."""
+    return list(_REGISTRY.values())
+
+
+def applicable_workloads(with_fp_extension: bool = True) -> list[Workload]:
+    """Workloads whose atomics map onto PIM-Atomic ops (Table III)."""
+    selected = []
+    for workload in _REGISTRY.values():
+        if not workload.applicable:
+            continue
+        if workload.needs_fp_extension and not with_fp_extension:
+            continue
+        selected.append(workload)
+    return selected
+
+
+def figure7_workloads() -> list[Workload]:
+    """The evaluation set of Figure 7, in the paper's plot order."""
+    return [get_workload(code) for code in FIGURE7_CODES]

@@ -1,0 +1,176 @@
+"""Rich Property workloads: Triangle Count and Gibbs Inference.
+
+Triangle Count is applicable (``lock add`` on triangle counters) but
+compute-bound inside neighbor-list intersections; Gibbs Inference
+performs heavy numeric work over large per-vertex stochastic tables and
+is Table III's "computation intensive" inapplicable case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import DeterministicRng
+from repro.framework.context import FrameworkContext
+from repro.graph.csr import CsrGraph
+from repro.trace.events import AtomicOp
+from repro.workloads.base import Category, Workload
+from repro.workloads.registry import register
+
+
+class TriangleCount(Workload):
+    """Per-vertex triangle counting on the symmetrized graph.
+
+    For every edge (u, v) with u < v, the sorted neighbor lists of u and
+    v are merge-intersected (streaming structure loads plus compare
+    work); each triangle found bumps all three vertices' counters with
+    ``lock add``.  ``max_degree`` optionally skips hub vertices so the
+    quadratic intersection cost stays tractable on power-law inputs.
+    """
+
+    code = "TC"
+    name = "Triangle count"
+    category = Category.RICH_PROPERTY
+    host_instruction = "lock add"
+    pim_op = AtomicOp.ADD
+    applicable = True
+
+    def execute(
+        self,
+        ctx: FrameworkContext,
+        graph: CsrGraph,
+        max_degree: int | None = None,
+        sample_fraction: float = 1.0,
+    ) -> dict:
+        undirected = graph.undirected()
+        tg = ctx.register_graph(undirected)
+        n = undirected.num_vertices
+        # Packed counters: TC is intersection-compute bound and its few
+        # atomics land on a small array (lower miss rate, Figure 10).
+        triangles = ctx.property_table("tc.count", n, 0, element_size=8)
+        degrees = undirected.out_degrees()
+
+        def degree_ok(v: int) -> bool:
+            return max_degree is None or degrees[v] <= max_degree
+
+        def count_for(tid, trace, u):
+            trace.work(3)
+            if not degree_ok(u):
+                return
+            u_start, u_end = undirected.neighbor_slice(u)
+            columns = undirected.columns
+            local_count = 0
+            for j in range(u_start, u_end):
+                trace.work(2)
+                trace.load(tg.columns_alloc.addr_of(j), 8)
+                v = int(columns[j])
+                if v <= u or not degree_ok(v):
+                    continue
+                # Merge-intersect sorted adjacency of u and v, counting
+                # common neighbors w > v (each triangle counted once,
+                # at its minimum vertex).
+                iu, iv = u_start, undirected.row_offsets[v]
+                v_end = undirected.row_offsets[v + 1]
+                while iu < u_end and iv < v_end:
+                    trace.work(3)
+                    trace.load(tg.columns_alloc.addr_of(iu), 8)
+                    trace.load(tg.columns_alloc.addr_of(int(iv)), 8)
+                    a, b = int(columns[iu]), int(columns[iv])
+                    if a < b:
+                        iu += 1
+                    elif b < a:
+                        iv += 1
+                    else:
+                        if a > v and degree_ok(a):
+                            local_count += 1
+                        iu += 1
+                        iv += 1
+            # One atomic accumulation per vertex (thread-local counting
+            # inside the scan): TC's atomic density is low, which is
+            # why its PIM benefit is marginal (Section IV-B1).
+            if local_count:
+                triangles.fetch_add(trace, u, local_count)
+
+        if not 0.0 < sample_fraction <= 1.0:
+            raise ValueError("sample_fraction must be in (0, 1]")
+        step = max(1, int(round(1.0 / sample_fraction)))
+        ctx.parallel_for(list(range(0, n, step)), count_for)
+        counts = triangles.values.copy()
+        return {
+            # counts[u] = triangles whose minimum vertex is u.
+            "per_vertex": counts,
+            "total_triangles": int(counts.sum()),
+            "sampled_vertices": len(range(0, n, step)),
+        }
+
+
+class GibbsInference(Workload):
+    """Gibbs sampling over a pairwise Markov random field.
+
+    Each vertex carries a rich property: a conditional table of
+    ``num_labels**2`` doubles.  Sweeps read neighbor states, accumulate
+    log-potentials (heavy FP work), and sample a new state.  Updates are
+    owner-written, so there are no shared atomics — Table III marks this
+    workload inapplicable ("Computation intensive").
+    """
+
+    code = "GInfer"
+    name = "Gibbs inference"
+    category = Category.RICH_PROPERTY
+    host_instruction = None
+    pim_op = None
+    applicable = False
+    missing_operation = "Computation intensive"
+
+    #: Arithmetic charged per (label, neighbor) potential evaluation.
+    POTENTIAL_WORK = 12
+
+    def execute(
+        self,
+        ctx: FrameworkContext,
+        graph: CsrGraph,
+        num_labels: int = 4,
+        sweeps: int = 2,
+        seed: int = 7,
+    ) -> dict:
+        tg = ctx.register_graph(graph)
+        n = graph.num_vertices
+        rng = DeterministicRng(seed).fork("gibbs", n)
+
+        state = ctx.property_table("gibbs.state", n, 0, element_size=8)
+        table_bytes = num_labels * num_labels * 8
+        tables_alloc = ctx.alloc_property("gibbs.cpt", n, table_bytes)
+        potentials = rng.random(n * num_labels * num_labels).reshape(
+            n, num_labels, num_labels
+        )
+
+        init_states = rng.integers(0, num_labels, size=n)
+        trace0 = ctx.threads[0]
+        for v in range(n):
+            state.write(trace0, v, int(init_states[v]))
+        ctx.barrier()
+
+        for _ in range(sweeps):
+            def resample(tid, trace, v):
+                trace.work(4)
+                # Load this vertex's full conditional table (rich
+                # property: several cache lines).
+                base = tables_alloc.addr_of(v)
+                for offset in range(0, table_bytes, 64):
+                    trace.load(base + offset, 64)
+                scores = np.zeros(num_labels)
+                for u in tg.neighbors(trace, v):
+                    su = state.read(trace, u)
+                    trace.work(self.POTENTIAL_WORK * num_labels)
+                    scores += potentials[v, :, su]
+                trace.work(8 * num_labels)  # normalize + sample
+                new_state = int(np.argmax(scores)) if scores.any() else 0
+                state.write(trace, v, new_state)
+
+            ctx.parallel_for(list(range(n)), resample)
+
+        return {"state": state.values.copy(), "num_labels": num_labels}
+
+
+TC = register(TriangleCount())
+GINFER = register(GibbsInference())

@@ -1,0 +1,102 @@
+"""Tests for the real-world applications and their synthetic datasets."""
+
+import numpy as np
+import pytest
+
+from repro.apps.datasets import (
+    bitcoin_like_graph,
+    planted_ring_members,
+    twitter_like_graph,
+)
+from repro.apps.fraud import FraudDetection
+from repro.apps.recommender import RecommenderSystem
+
+
+class TestDatasets:
+    def test_bitcoin_deterministic(self):
+        a = bitcoin_like_graph(400, seed=11)
+        b = bitcoin_like_graph(400, seed=11)
+        assert np.array_equal(a.columns, b.columns)
+
+    def test_bitcoin_rings_planted(self):
+        g = bitcoin_like_graph(400, seed=11, ring_count=3, ring_size=5)
+        rings = planted_ring_members(400, seed=11, ring_count=3, ring_size=5)
+        assert len(rings) == 3
+        for ring in rings:
+            for i in range(len(ring)):
+                assert g.has_edge(ring[i], ring[(i + 1) % len(ring)])
+
+    def test_bitcoin_sparser_than_ldbc(self):
+        g = bitcoin_like_graph(500)
+        assert g.num_edges / g.num_vertices < 10
+
+    def test_twitter_popularity_skew(self):
+        g = twitter_like_graph(800)
+        in_degrees = np.sort(g.in_degrees())[::-1]
+        top_share = in_degrees[:80].sum() / in_degrees.sum()
+        assert top_share > 0.2
+
+    def test_twitter_deterministic(self):
+        a = twitter_like_graph(300)
+        b = twitter_like_graph(300)
+        assert np.array_equal(a.columns, b.columns)
+
+
+class TestFraudDetection:
+    @pytest.fixture(scope="class")
+    def fd_run(self):
+        graph = bitcoin_like_graph(300, seed=11, ring_count=3, ring_size=5)
+        return FraudDetection().run(graph, num_threads=4, num_suspects=24)
+
+    def test_outputs_present(self, fd_run):
+        assert fd_run.outputs["communities"] >= 1
+        assert len(fd_run.outputs["flagged_accounts"]) == 16
+
+    def test_scores_nonnegative(self, fd_run):
+        assert (fd_run.outputs["scores"] >= 0).all()
+
+    def test_ring_members_boost_scores(self, fd_run):
+        scores = fd_run.outputs["scores"]
+        ring_members = fd_run.outputs["ring_members"]
+        if ring_members:
+            others = np.delete(scores, ring_members)
+            assert scores[ring_members].mean() > others.mean()
+
+    def test_emits_pim_candidates(self, fd_run):
+        assert fd_run.stats.property_atomics > 0
+
+    def test_mixes_graph_and_nongraph_work(self, fd_run):
+        # FD's scoring phase dilutes the atomic fraction (Section IV-B5).
+        assert 0.0 < fd_run.stats.pim_candidate_fraction < 0.15
+
+
+class TestRecommenderSystem:
+    @pytest.fixture(scope="class")
+    def rs_run(self):
+        graph = twitter_like_graph(300, seed=13)
+        return RecommenderSystem().run(graph, num_threads=4, top_k=3)
+
+    def test_recommendations_exist(self, rs_run):
+        recs = rs_run.outputs["recommendations"]
+        assert recs
+        for user, items in recs.items():
+            assert 1 <= len(items) <= 3
+
+    def test_recommended_items_are_followed(self, rs_run):
+        # Item-to-item CF recommends from the user's followee set.
+        graph = twitter_like_graph(300, seed=13)
+        for user, items in rs_run.outputs["recommendations"].items():
+            followees = set(graph.neighbors(user).tolist())
+            assert set(items) <= followees
+
+    def test_recommendations_ranked_by_similarity(self, rs_run):
+        sims = rs_run.outputs["similarity"]
+        for user, items in rs_run.outputs["recommendations"].items():
+            ranked = [sims[v] for v in items]
+            assert ranked == sorted(ranked, reverse=True)
+
+    def test_pairs_counted(self, rs_run):
+        assert rs_run.outputs["pairs_counted"] > 0
+
+    def test_emits_pim_candidates(self, rs_run):
+        assert rs_run.stats.property_atomics > 0

@@ -1,0 +1,182 @@
+"""Tests for the cache hierarchy: LRU, inclusion, coherence, stats."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.sim.cache import CacheConfig, CacheHierarchy, _SetAssocCache
+
+
+def tiny_hierarchy(cores=2):
+    """A deliberately small hierarchy: 4/8/16 lines."""
+    return CacheHierarchy(
+        cores,
+        CacheConfig(4 * 64, 2, latency=4.0),
+        CacheConfig(8 * 64, 2, latency=12.0),
+        CacheConfig(16 * 64, 4, latency=36.0),
+    )
+
+
+def addr(line: int) -> int:
+    return line * 64
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        cfg = CacheConfig(size_bytes=2048, ways=4, latency=1.0)
+        assert cfg.num_sets == 8
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=1000, ways=3, latency=1.0)
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=0, ways=1, latency=1.0)
+
+
+class TestSetAssocCache:
+    def test_hit_after_insert(self):
+        cache = _SetAssocCache(CacheConfig(4 * 64, 2, 1.0))
+        cache.insert(5)
+        assert cache.lookup(5)
+
+    def test_miss_when_absent(self):
+        cache = _SetAssocCache(CacheConfig(4 * 64, 2, 1.0))
+        assert not cache.lookup(5)
+
+    def test_lru_eviction_order(self):
+        # 2 sets, 2 ways: lines 0, 2, 4 share set 0.
+        cache = _SetAssocCache(CacheConfig(4 * 64, 2, 1.0))
+        cache.insert(0)
+        cache.insert(2)
+        cache.lookup(0)  # 0 becomes MRU
+        victim = cache.insert(4)
+        assert victim == 2
+
+    def test_insert_existing_no_eviction(self):
+        cache = _SetAssocCache(CacheConfig(4 * 64, 2, 1.0))
+        cache.insert(0)
+        assert cache.insert(0) is None
+
+    def test_invalidate(self):
+        cache = _SetAssocCache(CacheConfig(4 * 64, 2, 1.0))
+        cache.insert(3)
+        assert cache.invalidate(3)
+        assert not cache.invalidate(3)
+        assert not cache.lookup(3)
+
+    def test_capacity_never_exceeded(self):
+        cfg = CacheConfig(4 * 64, 2, 1.0)
+        cache = _SetAssocCache(cfg)
+        for line in range(100):
+            cache.insert(line)
+        total = sum(len(s) for s in cache.sets)
+        assert total <= 4
+
+
+class TestHierarchy:
+    def test_first_access_misses_everywhere(self):
+        h = tiny_hierarchy()
+        level, latency, coherent, wbs = h.access(0, addr(1), False)
+        assert level == 0
+        assert latency == 4.0 + 12.0 + 36.0
+        assert h.l3_stats.misses == 1
+
+    def test_second_access_hits_l1(self):
+        h = tiny_hierarchy()
+        h.access(0, addr(1), False)
+        level, latency, _c, _w = h.access(0, addr(1), False)
+        assert level == 1
+        assert latency == 4.0
+
+    def test_same_line_different_offset_hits(self):
+        h = tiny_hierarchy()
+        h.access(0, addr(1), False)
+        level, _l, _c, _w = h.access(0, addr(1) + 32, False)
+        assert level == 1
+
+    def test_other_core_hits_shared_l3(self):
+        h = tiny_hierarchy()
+        h.access(0, addr(1), False)
+        level, _l, _c, _w = h.access(1, addr(1), False)
+        assert level == 3
+
+    def test_write_invalidates_remote_copies(self):
+        h = tiny_hierarchy()
+        h.access(0, addr(1), False)
+        h.access(1, addr(1), False)
+        _level, _lat, coherence_hit, _w = h.access(1, addr(1), True)
+        assert coherence_hit
+        # Core 0 lost its private copy.
+        assert h.probe(0, addr(1)) == 3
+
+    def test_write_without_sharers_no_coherence(self):
+        h = tiny_hierarchy()
+        _l, _lat, coherence_hit, _w = h.access(0, addr(1), True)
+        assert not coherence_hit
+
+    def test_inclusive_l3_eviction_back_invalidates(self):
+        h = tiny_hierarchy()
+        h.access(0, addr(0), False)
+        assert h.probe(0, addr(0)) == 1
+        # Stream enough lines through set 0 of L3 (16 lines, 4 sets,
+        # 4 ways -> lines congruent mod 4 share a set) to evict line 0.
+        for line in range(4, 100, 4):
+            h.access(1, addr(line), False)
+        assert h.probe(0, addr(0)) == 0
+        assert h.invalidations > 0
+
+    def test_dirty_eviction_produces_writeback(self):
+        h = tiny_hierarchy()
+        h.access(0, addr(0), True)  # dirty line 0
+        writebacks = []
+        for line in range(4, 100, 4):
+            _l, _lat, _c, wbs = h.access(1, addr(line), False)
+            writebacks.extend(wbs)
+        assert addr(0) in writebacks
+        assert h.writebacks >= 1
+
+    def test_clean_eviction_no_writeback(self):
+        h = tiny_hierarchy()
+        h.access(0, addr(0), False)
+        writebacks = []
+        for line in range(4, 100, 4):
+            _l, _lat, _c, wbs = h.access(1, addr(line), False)
+            writebacks.extend(wbs)
+        assert addr(0) not in writebacks
+
+    def test_probe_is_non_mutating(self):
+        h = tiny_hierarchy()
+        h.access(0, addr(1), False)
+        hits_before = h.l1_stats.hits
+        h.probe(0, addr(1))
+        assert h.l1_stats.hits == hits_before
+
+    def test_probe_levels(self):
+        h = tiny_hierarchy()
+        assert h.probe(0, addr(9)) == 0
+        h.access(0, addr(9), False)
+        assert h.probe(0, addr(9)) == 1
+        assert h.probe(1, addr(9)) == 3
+
+    def test_stats_miss_rate(self):
+        h = tiny_hierarchy()
+        h.access(0, addr(1), False)
+        h.access(0, addr(1), False)
+        assert h.l1_stats.miss_rate == 0.5
+
+    def test_mpki(self):
+        h = tiny_hierarchy()
+        h.access(0, addr(1), False)
+        assert h.l3_stats.mpki(2.0) == 0.5  # 1 miss / 2k instructions
+
+    def test_level_stats_keys(self):
+        h = tiny_hierarchy()
+        assert set(h.level_stats()) == {"L1", "L2", "L3"}
+
+    def test_needs_at_least_one_core(self):
+        with pytest.raises(ConfigError):
+            CacheHierarchy(
+                0,
+                CacheConfig(256, 2, 1.0),
+                CacheConfig(512, 2, 2.0),
+                CacheConfig(1024, 2, 3.0),
+            )

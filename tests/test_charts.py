@@ -1,0 +1,67 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.harness.charts import bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_basic_rendering(self):
+        chart = bar_chart(["a", "bb"], [1.0, 2.0], title="T", width=10)
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 3
+        assert "2.000" in lines[2]
+
+    def test_max_value_fills_width(self):
+        chart = bar_chart(["x"], [4.0], width=8)
+        assert "████████" in chart
+
+    def test_half_value_half_bar(self):
+        chart = bar_chart(["a", "b"], [2.0, 4.0], width=8)
+        a_line, b_line = chart.splitlines()
+        assert a_line.count("█") == 4
+        assert b_line.count("█") == 8
+
+    def test_labels_aligned(self):
+        chart = bar_chart(["x", "long"], [1, 1], width=4)
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_reference_marker(self):
+        # The marker is drawn where a bar does not already cover it.
+        chart = bar_chart(["a", "b"], [0.2, 2.0], width=20, reference=1.0)
+        assert "·" in chart.splitlines()[0]
+
+    def test_empty(self):
+        assert bar_chart([], [], title="empty") == "empty"
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ConfigError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_zero_values(self):
+        chart = bar_chart(["a"], [0.0], width=8)
+        assert "█" not in chart
+
+
+class TestGroupedBarChart:
+    def test_groups_and_series(self):
+        chart = grouped_bar_chart(
+            ["BFS", "DC"],
+            {"Baseline": [1.0, 1.0], "GraphPIM": [2.0, 2.2]},
+            title="speedups",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "speedups"
+        assert lines[1] == "BFS"
+        assert "Baseline" in lines[2]
+        assert "GraphPIM" in lines[3]
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ConfigError):
+            grouped_bar_chart(["a"], {"s": [1.0, 2.0]})
+
+    def test_empty(self):
+        assert grouped_bar_chart([], {}, title="t") == "t"

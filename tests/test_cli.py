@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_workloads_listing(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "BFS" in out
+        assert "GInfer" in out
+        assert "fp-ext" in out  # PRank/BC marker
+
+    def test_run_prints_summary(self, capsys):
+        assert main(
+            ["run", "BFS", "--vertices", "200", "--threads", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "GraphPIM" in out
+        assert "speedup" in out
+
+    def test_run_unknown_workload(self):
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["run", "NOPE"])
+
+    def test_trace_then_simulate(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "bfs.npz")
+        assert main(
+            [
+                "trace", "BFS",
+                "--vertices", "200",
+                "--threads", "4",
+                "-o", trace_file,
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+        assert main(["simulate", trace_file, "--mode", "graphpim"]) == 0
+        out = capsys.readouterr().out
+        assert "GraphPIM" in out
+        assert "offloaded" in out
+
+    def test_simulate_baseline_mode(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "dc.npz")
+        main(["trace", "DC", "--vertices", "200", "--threads", "4",
+              "-o", trace_file])
+        capsys.readouterr()
+        assert main(["simulate", trace_file, "--mode", "baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "host atomics" in out
+
+    def test_experiment_static_table(self, capsys):
+        assert main(["experiment", "tab05"]) == 0
+        out = capsys.readouterr().out
+        assert "64-byte READ" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

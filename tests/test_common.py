@@ -1,0 +1,130 @@
+"""Tests for repro.common: units, RNG, errors."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import (
+    ConfigError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+from repro.common.rng import DeterministicRng, derive_seed
+from repro.common.units import (
+    CACHE_LINE_BYTES,
+    FLIT_BYTES,
+    GB,
+    KB,
+    MB,
+    cycles_from_ns,
+    ns_from_cycles,
+)
+
+
+class TestUnits:
+    def test_byte_multiples(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+
+    def test_line_and_flit_sizes_match_paper(self):
+        assert CACHE_LINE_BYTES == 64  # Table IV
+        assert FLIT_BYTES == 16  # 128-bit FLITs
+
+    def test_cycles_from_ns_rounds_up(self):
+        # tCL = 13.75 ns at 2 GHz = 27.5 cycles -> 28.
+        assert cycles_from_ns(13.75) == 28
+
+    def test_cycles_from_ns_exact(self):
+        assert cycles_from_ns(10.0) == 20
+
+    def test_cycles_from_ns_zero(self):
+        assert cycles_from_ns(0.0) == 0
+
+    def test_cycles_from_ns_custom_clock(self):
+        assert cycles_from_ns(10.0, core_ghz=1.0) == 10
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            cycles_from_ns(-1.0)
+
+    def test_ns_from_cycles_roundtrip(self):
+        assert ns_from_cycles(20) == 10.0
+
+    def test_ns_from_cycles_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ns_from_cycles(-5)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_label_sensitivity(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_base_seed_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_label_order_matters(self):
+        assert derive_seed(7, "a", "b") != derive_seed(7, "b", "a")
+
+    def test_result_fits_in_63_bits(self):
+        for seed in range(50):
+            assert 0 <= derive_seed(seed, "x") < 2**63
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(9).integers(0, 100, size=50)
+        b = DeterministicRng(9).integers(0, 100, size=50)
+        assert np.array_equal(a, b)
+
+    def test_fork_independence(self):
+        rng = DeterministicRng(9)
+        child_a = rng.fork("a").random(10)
+        child_b = rng.fork("b").random(10)
+        assert not np.allclose(child_a, child_b)
+
+    def test_fork_reproducible(self):
+        a = DeterministicRng(9).fork("x").random(5)
+        b = DeterministicRng(9).fork("x").random(5)
+        assert np.allclose(a, b)
+
+    def test_integers_range(self):
+        draws = DeterministicRng(1).integers(5, 10, size=200)
+        assert draws.min() >= 5 and draws.max() < 10
+
+    def test_permutation_is_permutation(self):
+        perm = DeterministicRng(2).permutation(100)
+        assert sorted(perm.tolist()) == list(range(100))
+
+    def test_zipf_weights_normalized(self):
+        weights = DeterministicRng(3).zipf_weights(1000, 0.8)
+        assert weights.shape == (1000,)
+        assert abs(weights.sum() - 1.0) < 1e-9
+        # Rank-1 weight is the largest.
+        assert weights[0] == weights.max()
+
+    def test_zipf_weights_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(3).zipf_weights(0, 0.8)
+
+    def test_choice_with_probabilities(self):
+        rng = DeterministicRng(4)
+        p = rng.zipf_weights(10, 1.2)
+        draws = rng.choice(10, size=500, p=p)
+        # Heavily skewed distribution: the top item dominates.
+        top = np.argmax(p)
+        assert (draws == top).mean() > 0.2
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(ConfigError, ReproError)
+        assert issubclass(TraceError, ReproError)
+        assert issubclass(SimulationError, ReproError)
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            raise ConfigError("bad config")

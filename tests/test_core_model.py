@@ -1,0 +1,275 @@
+"""Tests for the core timing model and the multi-core scheduler."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.framework.context import FrameworkContext
+from repro.memlayout.allocator import AddressSpace
+from repro.memlayout.regions import Region
+from repro.sim.config import Mode, SystemConfig
+from repro.sim.system import simulate
+from repro.trace.events import AtomicOp
+from repro.trace.stream import ThreadTrace, Trace
+
+
+def make_trace(build, threads=1):
+    """Build a trace: ``build(space, [thread traces])`` then barrier."""
+    space = AddressSpace()
+    streams = [ThreadTrace(i) for i in range(threads)]
+    build(space, streams)
+    for i, stream in enumerate(streams):
+        stream.barrier(0)
+    return Trace(streams)
+
+
+class TestIssueAndWindow:
+    def test_pure_work_retires_at_issue_width(self):
+        def build(space, streams):
+            streams[0].work(399)
+            streams[0].load(space.malloc("m", Region.META, 1, 8).addr_of(0))
+
+        trace = make_trace(build)
+        result = simulate(trace, SystemConfig.baseline(issue_width=4))
+        # 400 instructions at width 4 = 100 cycles of issue.
+        assert result.core_stats.issue_cycles == pytest.approx(100.0)
+        assert result.instructions == 400
+
+    def test_l1_hits_do_not_stall(self):
+        def build(space, streams):
+            addr = space.malloc("m", Region.META, 1, 8).addr_of(0)
+            for _ in range(50):
+                streams[0].load(addr)
+
+        trace = make_trace(build)
+        result = simulate(trace, SystemConfig.baseline())
+        # One compulsory miss, then 49 L1 hits absorbed by the window.
+        assert result.core_stats.mem_stall_cycles < 50
+
+    def test_window_limits_outstanding_misses(self):
+        def build(space, streams):
+            alloc = space.malloc("m", Region.META, 64, 64)
+            for i in range(64):
+                streams[0].load(alloc.addr_of(i))
+
+        trace = make_trace(build)
+        narrow = simulate(trace, SystemConfig.baseline(mlp=1))
+        wide = simulate(trace, SystemConfig.baseline(mlp=16))
+        assert narrow.cycles > wide.cycles * 2
+
+    def test_instructions_counted_once_per_event(self):
+        def build(space, streams):
+            addr = space.malloc("m", Region.META, 1, 8).addr_of(0)
+            streams[0].work(9)
+            streams[0].load(addr)
+
+        trace = make_trace(build)
+        result = simulate(trace, SystemConfig.baseline())
+        assert result.instructions == 10
+
+
+class TestHostAtomics:
+    def _atomic_trace(self, op=AtomicOp.CAS, region=Region.PROPERTY, n=10):
+        def build(space, streams):
+            if region is Region.PROPERTY:
+                alloc = space.pmr_malloc("p", n, 64)
+            else:
+                alloc = space.malloc("s", region, n, 64)
+            for i in range(n):
+                streams[0].atomic(op, alloc.addr_of(i), 8, True)
+
+        return make_trace(build)
+
+    def test_baseline_atomics_counted(self):
+        result = simulate(self._atomic_trace(), SystemConfig.baseline())
+        assert result.core_stats.host_atomics == 10
+        assert result.core_stats.offloaded_atomics == 0
+
+    def test_baseline_atomic_overhead_attributed(self):
+        result = simulate(self._atomic_trace(), SystemConfig.baseline())
+        assert result.core_stats.atomic_incore_cycles > 0
+        assert result.core_stats.atomic_incache_cycles > 0
+
+    def test_atomics_slower_than_plain_loads(self):
+        def loads(space, streams):
+            alloc = space.pmr_malloc("p", 10, 64)
+            for i in range(10):
+                streams[0].load(alloc.addr_of(i))
+
+        atomic_result = simulate(self._atomic_trace(), SystemConfig.baseline())
+        load_result = simulate(make_trace(loads), SystemConfig.baseline())
+        assert atomic_result.cycles > load_result.cycles
+
+    def test_fp_atomic_costs_more_on_host(self):
+        cas = simulate(
+            self._atomic_trace(op=AtomicOp.CAS), SystemConfig.baseline()
+        )
+        fp = simulate(
+            self._atomic_trace(op=AtomicOp.FP_ADD), SystemConfig.baseline()
+        )
+        assert fp.cycles > cas.cycles
+
+    def test_candidate_stats_only_in_baseline(self):
+        baseline = simulate(self._atomic_trace(), SystemConfig.baseline())
+        graphpim = simulate(self._atomic_trace(), SystemConfig.graphpim())
+        assert baseline.core_stats.candidate_total == 10
+        assert graphpim.core_stats.candidate_total == 0
+
+    def test_candidate_misses_recorded(self):
+        baseline = simulate(self._atomic_trace(n=10), SystemConfig.baseline())
+        # Fresh lines: every candidate misses the LLC.
+        assert baseline.candidate_miss_rate() == 1.0
+
+
+class TestGraphPimMode:
+    def _pmr_trace(self, kinds):
+        def build(space, streams):
+            alloc = space.pmr_malloc("p", 16, 64)
+            for i, kind in enumerate(kinds):
+                if kind == "load":
+                    streams[0].load(alloc.addr_of(i))
+                elif kind == "store":
+                    streams[0].store(alloc.addr_of(i))
+                else:
+                    streams[0].atomic(
+                        AtomicOp.ADD, alloc.addr_of(i), 8, False
+                    )
+
+        return make_trace(build)
+
+    def test_pmr_atomics_offloaded(self):
+        result = simulate(
+            self._pmr_trace(["atomic"] * 8), SystemConfig.graphpim()
+        )
+        assert result.core_stats.offloaded_atomics == 8
+        assert result.core_stats.host_atomics == 0
+
+    def test_pmr_accesses_bypass_cache(self):
+        result = simulate(
+            self._pmr_trace(["load", "store", "atomic"] * 4),
+            SystemConfig.graphpim(),
+        )
+        # No cache activity at all: everything was PMR.
+        assert result.cache_stats["L1"].accesses == 0
+
+    def test_baseline_caches_pmr_accesses(self):
+        result = simulate(
+            self._pmr_trace(["load", "store"] * 4), SystemConfig.baseline()
+        )
+        assert result.cache_stats["L1"].accesses == 8
+
+    def test_non_pmr_atomics_stay_on_host(self):
+        def build(space, streams):
+            alloc = space.malloc("locks", Region.STRUCTURE, 4, 64)
+            for i in range(4):
+                streams[0].atomic(AtomicOp.CAS, alloc.addr_of(i), 8, True)
+
+        result = simulate(make_trace(build), SystemConfig.graphpim())
+        assert result.core_stats.host_atomics == 4
+        assert result.core_stats.offloaded_atomics == 0
+
+    def test_fp_extension_gate(self):
+        def build(space, streams):
+            alloc = space.pmr_malloc("p", 4, 64)
+            for i in range(4):
+                streams[0].atomic(AtomicOp.FP_ADD, alloc.addr_of(i), 8, False)
+
+        with_ext = simulate(
+            make_trace(build), SystemConfig.graphpim(fp_extension=True)
+        )
+        without_ext = simulate(
+            make_trace(build), SystemConfig.graphpim(fp_extension=False)
+        )
+        assert with_ext.core_stats.offloaded_atomics == 4
+        assert without_ext.core_stats.offloaded_atomics == 0
+        assert without_ext.core_stats.host_atomics == 4
+
+    def test_graphpim_beats_baseline_on_missing_atomics(self):
+        def build(space, streams):
+            alloc = space.pmr_malloc("p", 200, 64)
+            for i in range(200):
+                streams[0].work(4)
+                streams[0].atomic(AtomicOp.CAS, alloc.addr_of(i), 8, True)
+
+        trace = make_trace(build)
+        baseline = simulate(trace, SystemConfig.baseline())
+        graphpim = simulate(trace, SystemConfig.graphpim())
+        assert graphpim.speedup_over(baseline) > 1.2
+
+
+class TestUpeiMode:
+    def test_upei_offloads_cold_candidates(self):
+        def build(space, streams):
+            alloc = space.pmr_malloc("p", 8, 64)
+            for i in range(8):
+                streams[0].atomic(AtomicOp.ADD, alloc.addr_of(i), 8, False)
+
+        result = simulate(make_trace(build), SystemConfig.upei())
+        assert result.core_stats.offloaded_atomics == 8
+
+    def test_upei_executes_warm_candidates_on_host(self):
+        def build(space, streams):
+            alloc = space.pmr_malloc("p", 1, 64)
+            for _ in range(8):
+                streams[0].atomic(AtomicOp.ADD, alloc.addr_of(0), 8, False)
+
+        result = simulate(make_trace(build), SystemConfig.upei())
+        # First access misses and offloads (installing the line);
+        # the remaining seven hit and run host-side.
+        assert result.core_stats.offloaded_atomics == 1
+        assert result.core_stats.upei_cache_atomics == 7
+
+
+class TestSchedulerAndBarriers:
+    def test_barrier_synchronizes_clocks(self):
+        def build(space, streams):
+            fast, slow = streams
+            alloc = space.malloc("m", Region.META, 64, 64)
+            slow.work(4000)  # slow thread does lots of work
+            fast.work(4)
+
+        trace = make_trace(build, threads=2)
+        result = simulate(trace, SystemConfig.baseline())
+        # Total time is governed by the slow thread.
+        assert result.cycles >= 1000
+
+    def test_thread_count_exceeding_cores_rejected(self):
+        def build(space, streams):
+            pass
+
+        trace = make_trace(build, threads=3)
+        with pytest.raises(SimulationError):
+            simulate(trace, SystemConfig.baseline(num_cores=2))
+
+    def test_simulation_deterministic(self, small_graph):
+        from repro.workloads import get_workload
+
+        run = get_workload("BFS").run(small_graph, num_threads=4, root=0)
+        a = simulate(run.trace, SystemConfig.graphpim())
+        b = simulate(run.trace, SystemConfig.graphpim())
+        assert a.cycles == b.cycles
+        assert a.hmc_stats.total_flits == b.hmc_stats.total_flits
+
+    def test_result_breakdowns_sum_to_one(self, small_graph):
+        from repro.workloads import get_workload
+
+        run = get_workload("BFS").run(small_graph, num_threads=4, root=0)
+        result = simulate(run.trace, SystemConfig.baseline())
+        breakdown = result.execution_breakdown()
+        total = (
+            breakdown["Atomic-inCore"]
+            + breakdown["Atomic-inCache"]
+            + breakdown["Other"]
+        )
+        assert total == pytest.approx(1.0)
+        pipeline = result.pipeline_breakdown()
+        assert sum(pipeline.values()) == pytest.approx(1.0)
+
+    def test_speedup_requires_nonzero_cycles(self):
+        def build(space, streams):
+            pass
+
+        trace = make_trace(build)
+        result = simulate(trace, SystemConfig.baseline())
+        assert result.cycles == 0
+        with pytest.raises(SimulationError):
+            result.speedup_over(result)

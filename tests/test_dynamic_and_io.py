@@ -1,0 +1,140 @@
+"""Tests for DynamicGraph and edge-list I/O."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import GraphError
+from repro.graph.csr import CsrGraph
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.io import load_edge_list, save_edge_list
+
+
+class TestDynamicGraph:
+    def test_empty(self):
+        g = DynamicGraph(3)
+        assert g.num_vertices == 3
+        assert g.num_edges == 0
+
+    def test_add_edge(self):
+        g = DynamicGraph(3)
+        g.add_edge(0, 1)
+        g.add_edge(0, 2)
+        assert g.num_edges == 2
+        assert g.neighbors(0) == [1, 2]
+
+    def test_add_vertex(self):
+        g = DynamicGraph(2)
+        new = g.add_vertex()
+        assert new == 2
+        assert g.num_vertices == 3
+
+    def test_add_vertices_range(self):
+        g = DynamicGraph(1)
+        ids = g.add_vertices(3)
+        assert list(ids) == [1, 2, 3]
+
+    def test_remove_edge(self):
+        g = DynamicGraph(3)
+        g.add_edge(0, 1)
+        assert g.remove_edge(0, 1)
+        assert not g.remove_edge(0, 1)
+        assert g.num_edges == 0
+
+    def test_remove_vertex_edges(self):
+        g = DynamicGraph(3)
+        g.add_edge(0, 1)
+        g.add_edge(0, 2)
+        assert g.remove_vertex_edges(0) == 2
+        assert g.num_edges == 0
+
+    def test_contract_edge(self):
+        g = DynamicGraph(4)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(1, 3)
+        g.contract_edge(0, 1)
+        assert set(g.neighbors(0)) >= {2, 3}
+        assert g.neighbors(1) == []
+
+    def test_contract_drops_self_edges(self):
+        g = DynamicGraph(2)
+        g.add_edge(1, 0)
+        g.contract_edge(0, 1)
+        # Edge 1->0 would become 0->0; it is dropped.
+        assert g.num_edges == 0
+
+    def test_contract_self_rejected(self):
+        g = DynamicGraph(2)
+        with pytest.raises(GraphError):
+            g.contract_edge(0, 0)
+
+    def test_from_csr_roundtrip(self, tiny_csr):
+        dyn = DynamicGraph.from_csr(tiny_csr)
+        assert dyn.num_edges == tiny_csr.num_edges
+        back = dyn.to_csr()
+        assert set(back.iter_edges()) == set(tiny_csr.iter_edges())
+
+    def test_edge_iter(self):
+        g = DynamicGraph(3)
+        g.add_edge(0, 1)
+        g.add_edge(2, 0)
+        assert set(g.edge_iter()) == {(0, 1), (2, 0)}
+
+    def test_bad_vertex_rejected(self):
+        g = DynamicGraph(2)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 5)
+        with pytest.raises(GraphError):
+            g.neighbors(-1)
+
+    def test_has_edge(self):
+        g = DynamicGraph(2)
+        g.add_edge(0, 1)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+
+class TestEdgeListIO:
+    def test_roundtrip_unweighted(self, tmp_path, tiny_csr):
+        path = tmp_path / "g.txt"
+        save_edge_list(tiny_csr, path)
+        loaded = load_edge_list(path)
+        assert loaded.num_vertices == tiny_csr.num_vertices
+        assert set(loaded.iter_edges()) == set(tiny_csr.iter_edges())
+
+    def test_roundtrip_weighted(self, tmp_path):
+        g = CsrGraph.from_edges(3, [(0, 1), (1, 2)], weights=[1.25, 3.5])
+        path = tmp_path / "w.txt"
+        save_edge_list(g, path)
+        loaded = load_edge_list(path)
+        assert loaded.weights is not None
+        assert np.allclose(sorted(loaded.weights), [1.25, 3.5])
+
+    def test_isolated_vertices_survive(self, tmp_path):
+        g = CsrGraph.from_edges(10, [(0, 1)])
+        path = tmp_path / "iso.txt"
+        save_edge_list(g, path)
+        assert load_edge_list(path).num_vertices == 10
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# vertices: 2\n0 1 2 3\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+    def test_mixed_weights_rejected(self, tmp_path):
+        path = tmp_path / "mixed.txt"
+        path.write_text("# vertices: 3\n0 1 2.0\n1 2\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("# vertices: 2\n\n# comment\n0 1\n")
+        assert load_edge_list(path).num_edges == 1

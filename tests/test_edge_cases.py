@@ -1,0 +1,139 @@
+"""Degenerate-input behavior of workloads and the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CsrGraph
+from repro.graph.generators import grid_graph
+from repro.sim.config import SystemConfig
+from repro.sim.system import simulate
+from repro.workloads import get_workload
+from repro.workloads.traversal import UNVISITED
+
+
+@pytest.fixture
+def two_islands():
+    """Two disconnected components: {0,1,2} cycle and {3,4} pair."""
+    return CsrGraph.from_edges(
+        5, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 3)]
+    )
+
+
+class TestDisconnectedGraphs:
+    def test_bfs_leaves_other_island_unvisited(self, two_islands):
+        run = get_workload("BFS").run(two_islands, num_threads=2, root=0)
+        depth = run.outputs["depth"]
+        assert depth[3] == UNVISITED
+        assert depth[4] == UNVISITED
+        assert run.outputs["visited"] == 3
+
+    def test_cc_finds_two_components(self, two_islands):
+        run = get_workload("CComp").run(two_islands, num_threads=2)
+        assert run.outputs["num_components"] == 2
+
+    def test_sssp_unreachable_is_infinite(self, two_islands):
+        run = get_workload("SSSP").run(two_islands, num_threads=2, root=0)
+        assert run.outputs["dist"][3] == float("inf")
+
+    def test_dfs_covers_both_islands(self, two_islands):
+        run = get_workload("DFS").run(two_islands, num_threads=2)
+        assert run.outputs["visited"] == 5
+
+
+class TestTinyGraphs:
+    def test_bfs_single_edge(self):
+        graph = CsrGraph.from_edges(2, [(0, 1)])
+        run = get_workload("BFS").run(graph, num_threads=2, root=0)
+        assert run.outputs["depth"].tolist() == [0, 1]
+
+    def test_pagerank_two_vertices(self):
+        graph = CsrGraph.from_edges(2, [(0, 1), (1, 0)])
+        run = get_workload("PRank").run(graph, num_threads=2, iterations=5)
+        # Symmetric graph: equal ranks.
+        rank = run.outputs["rank"]
+        assert rank[0] == pytest.approx(rank[1])
+
+    def test_pagerank_dangling_mass_redistributed(self):
+        graph = CsrGraph.from_edges(2, [(0, 1)])  # vertex 1 dangles
+        run = get_workload("PRank").run(graph, num_threads=2, iterations=3)
+        assert run.outputs["total_mass"] == pytest.approx(1.0, abs=1e-9)
+
+    def test_dc_no_edges(self):
+        graph = CsrGraph.from_edges(3, [])
+        run = get_workload("DC").run(graph, num_threads=2)
+        assert run.outputs["in_degree"].sum() == 0
+        assert run.stats.atomics == 0
+
+    def test_tc_triangle(self):
+        graph = CsrGraph.from_edges(
+            3, [(0, 1), (1, 2), (2, 0)]
+        )
+        run = get_workload("TC").run(graph, num_threads=2)
+        assert run.outputs["total_triangles"] == 1
+
+    def test_kcore_fully_peeled(self):
+        graph = CsrGraph.from_edges(3, [(0, 1), (1, 2)])
+        run = get_workload("kCore").run(graph, num_threads=2, k=5)
+        assert run.outputs["core_size"] == 0
+
+    def test_kcore_nothing_peeled(self, tiny_csr):
+        run = get_workload("kCore").run(tiny_csr, num_threads=2, k=0)
+        assert run.outputs["core_size"] == tiny_csr.num_vertices
+        assert run.outputs["rounds"] == 1
+
+    def test_bc_star_graph(self):
+        # Star: center 0 connects to 1..4; center has zero betweenness
+        # from leaf sources but all paths go through it from the center.
+        edges = [(0, i) for i in range(1, 5)]
+        graph = CsrGraph.from_edges(5, edges)
+        run = get_workload("BC").run(graph, num_threads=2, num_sources=1)
+        centrality = run.outputs["centrality"]
+        assert (centrality >= 0).all()
+
+
+class TestGridControlCase:
+    def test_bfs_on_grid_has_locality(self):
+        # Grids are the locality-friendly counterexample: candidate
+        # miss rate should be far below the LDBC-like graphs'.
+        graph = grid_graph(20, 20)
+        run = get_workload("BFS").run(graph, num_threads=4)
+        baseline = simulate(run.trace, SystemConfig.baseline())
+        assert baseline.candidate_miss_rate() < 0.6
+
+    def test_bfs_grid_depths(self):
+        graph = grid_graph(5, 5)
+        run = get_workload("BFS").run(graph, num_threads=2, root=0)
+        depth = run.outputs["depth"]
+        # Manhattan distance from the corner.
+        assert depth[24] == 8
+        assert depth[4] == 4
+
+
+class TestSimulatorEdgeCases:
+    def test_empty_thread_trace(self):
+        from repro.trace.stream import ThreadTrace, Trace
+
+        threads = [ThreadTrace(0), ThreadTrace(1)]
+        for t in threads:
+            t.barrier(0)
+        result = simulate(Trace(threads), SystemConfig.baseline())
+        assert result.cycles == 0
+        assert result.instructions == 0
+
+    def test_single_thread_trace(self, tiny_csr):
+        run = get_workload("BFS").run(tiny_csr, num_threads=1, root=0)
+        result = simulate(run.trace, SystemConfig.graphpim())
+        assert result.cycles > 0
+
+    def test_more_cores_than_threads_ok(self, tiny_csr):
+        run = get_workload("BFS").run(tiny_csr, num_threads=2, root=0)
+        result = simulate(run.trace, SystemConfig.baseline(num_cores=16))
+        assert result.cycles > 0
+
+    def test_ipc_zero_when_no_cycles(self):
+        from repro.trace.stream import ThreadTrace, Trace
+
+        t = ThreadTrace(0)
+        t.barrier(0)
+        result = simulate(Trace([t]), SystemConfig.baseline())
+        assert result.ipc == 0.0

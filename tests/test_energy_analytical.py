@@ -1,0 +1,173 @@
+"""Tests for the energy model and the analytical CPI model."""
+
+import pytest
+
+from repro.analytical.model import (
+    AnalyticalInputs,
+    baseline_cpi,
+    graphpim_cpi,
+    inputs_from_counters,
+    inputs_from_simulation,
+    nominal_hmc_read_latency,
+    nominal_pim_latency,
+    predicted_speedup,
+)
+from repro.analytical.validation import (
+    average_error,
+    validate_against_simulation,
+)
+from repro.common.errors import ConfigError
+from repro.energy.model import EnergyBreakdown, uncore_energy
+from repro.energy.params import EnergyParams
+from repro.sim.config import SystemConfig
+from repro.sim.system import simulate
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def bfs_results(small_graph_module):
+    run = get_workload("BFS").run(small_graph_module, num_threads=8)
+    baseline = simulate(run.trace, SystemConfig.baseline())
+    graphpim = simulate(run.trace, SystemConfig.graphpim())
+    return run, baseline, graphpim
+
+
+@pytest.fixture(scope="module")
+def small_graph_module():
+    from repro.graph.generators import ldbc_like_graph
+
+    return ldbc_like_graph(300, seed=7)
+
+
+class TestEnergyModel:
+    def test_breakdown_components_positive(self, bfs_results):
+        _run, baseline, _g = bfs_results
+        energy = uncore_energy(baseline)
+        for value in energy.as_dict().values():
+            assert value > 0
+
+    def test_total_is_sum(self, bfs_results):
+        _run, baseline, _g = bfs_results
+        energy = uncore_energy(baseline)
+        assert energy.total == pytest.approx(sum(energy.as_dict().values()))
+
+    def test_normalization(self, bfs_results):
+        _run, baseline, _g = bfs_results
+        energy = uncore_energy(baseline)
+        shares = energy.normalized_to(energy)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_link_share_of_hmc_near_43_percent(self, bfs_results):
+        # Section IV-B4: SerDes links ~43% of HMC power.
+        _run, baseline, _g = bfs_results
+        energy = uncore_energy(baseline)
+        hmc_total = (
+            energy.hmc_link + energy.hmc_fu + energy.hmc_logic + energy.hmc_dram
+        )
+        assert 0.30 <= energy.hmc_link / hmc_total <= 0.55
+
+    def test_graphpim_saves_energy_when_faster(self, bfs_results):
+        _run, baseline, graphpim = bfs_results
+        if graphpim.cycles < baseline.cycles:
+            assert uncore_energy(graphpim).total < uncore_energy(baseline).total
+
+    def test_params_seconds(self):
+        params = EnergyParams(core_ghz=2.0)
+        assert params.seconds(2e9) == pytest.approx(1.0)
+
+    def test_custom_params_scale_linearly(self, bfs_results):
+        _run, baseline, _g = bfs_results
+        base = uncore_energy(baseline, EnergyParams())
+        doubled = uncore_energy(
+            baseline,
+            EnergyParams(link_static_w=EnergyParams().link_static_w * 2),
+        )
+        assert doubled.hmc_link > base.hmc_link
+
+
+class TestAnalyticalModel:
+    def _inputs(self, **overrides):
+        defaults = dict(
+            cpi_other=2.0,
+            overlap=0.0,
+            r_atomic=0.1,
+            miss_atomic=0.8,
+            lat_cache=52.0,
+            lat_mem=130.0,
+            lat_pim=150.0,
+            core_overhead=52.0,
+        )
+        defaults.update(overrides)
+        return AnalyticalInputs(**defaults)
+
+    def test_equation_2_baseline(self):
+        inputs = self._inputs()
+        aoh = 52.0 + 0.8 * 130.0 + 52.0
+        assert baseline_cpi(inputs) == pytest.approx(2.0 + 0.1 * aoh)
+
+    def test_graphpim_cpi(self):
+        inputs = self._inputs()
+        assert graphpim_cpi(inputs) == pytest.approx(2.0 + 0.1 * 150.0)
+
+    def test_speedup_above_one_for_atomic_heavy(self):
+        assert predicted_speedup(self._inputs()) > 1.0
+
+    def test_no_atomics_no_speedup(self):
+        inputs = self._inputs(r_atomic=0.0)
+        assert predicted_speedup(inputs) == pytest.approx(1.0)
+
+    def test_overlap_reduces_cpi(self):
+        low = baseline_cpi(self._inputs(overlap=0.0))
+        high = baseline_cpi(self._inputs(overlap=0.5))
+        assert high < low
+
+    def test_invalid_overlap_rejected(self):
+        with pytest.raises(ConfigError):
+            self._inputs(overlap=1.5)
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ConfigError):
+            self._inputs(miss_atomic=1.5)
+
+    def test_nominal_latencies_ordering(self):
+        config = SystemConfig()
+        assert nominal_pim_latency(config) > 0
+        assert nominal_hmc_read_latency(config) > 0
+
+    def test_inputs_from_simulation(self, bfs_results):
+        _run, baseline, _g = bfs_results
+        inputs = inputs_from_simulation(baseline)
+        assert inputs.r_atomic > 0
+        assert 0 <= inputs.miss_atomic <= 1
+        assert inputs.cpi_other > 0
+
+    def test_inputs_from_counters(self):
+        inputs = inputs_from_counters(
+            ipc=0.1, atomic_fraction=0.03, llc_miss_rate=0.9
+        )
+        assert inputs.cpi_other > 0
+        assert predicted_speedup(inputs) > 1.0
+
+    def test_counters_reject_bad_ipc(self):
+        with pytest.raises(ConfigError):
+            inputs_from_counters(ipc=0.0, atomic_fraction=0.1, llc_miss_rate=0.5)
+
+    def test_validation_row(self, bfs_results):
+        _run, baseline, graphpim = bfs_results
+        row = validate_against_simulation("BFS", baseline, graphpim)
+        assert row.simulated_speedup == pytest.approx(
+            graphpim.speedup_over(baseline)
+        )
+        assert row.error >= 0
+
+    def test_average_error(self):
+        from repro.analytical.validation import ValidationRow
+
+        rows = [
+            ValidationRow("a", 2.0, 2.2),
+            ValidationRow("b", 1.0, 0.9),
+        ]
+        assert average_error(rows) == pytest.approx((0.1 + 0.1) / 2)
+
+    def test_average_error_empty(self):
+        assert average_error([]) == 0.0

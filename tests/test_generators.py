@@ -1,0 +1,167 @@
+"""Tests for synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import GraphError
+from repro.graph.generators import (
+    GraphSpec,
+    grid_graph,
+    ldbc_like_graph,
+    ldbc_scaled_family,
+    rmat_graph,
+    uniform_random_graph,
+)
+
+
+class TestLdbcLike:
+    def test_deterministic(self):
+        a = ldbc_like_graph(500, seed=7)
+        b = ldbc_like_graph(500, seed=7)
+        assert np.array_equal(a.columns, b.columns)
+        assert np.array_equal(a.row_offsets, b.row_offsets)
+
+    def test_seed_changes_graph(self):
+        a = ldbc_like_graph(500, seed=7)
+        b = ldbc_like_graph(500, seed=8)
+        assert not np.array_equal(a.columns, b.columns)
+
+    def test_average_degree_close_to_ldbc(self):
+        g = ldbc_like_graph(2000, seed=7)
+        avg = g.num_edges / g.num_vertices
+        # The fringe replacement lowers the raw 28.8 somewhat.
+        assert 18 <= avg <= 30
+
+    def test_degree_cap_scales_with_size(self):
+        # The clip-renormalize cap is approximate (renormalization can
+        # push weights slightly above the clip); it must bound hubs to
+        # the same order as fraction*V, far below uncapped Zipf heads.
+        g = ldbc_like_graph(2000, seed=7, max_degree_fraction=0.02)
+        assert g.out_degrees().max() <= 0.02 * 2000 * 2
+        loose = ldbc_like_graph(2000, seed=7, max_degree_fraction=0.5)
+        assert g.out_degrees().max() < loose.out_degrees().max()
+
+    def test_fringe_exists(self):
+        g = ldbc_like_graph(2000, seed=7, fringe_fraction=0.2)
+        low_degree = (g.out_degrees() <= 5).mean()
+        assert low_degree >= 0.15
+
+    def test_no_fringe_option(self):
+        g = ldbc_like_graph(1000, seed=7, fringe_fraction=0.0)
+        assert (g.out_degrees() >= 6).all()
+
+    def test_no_self_loops(self):
+        g = ldbc_like_graph(500, seed=7)
+        src = np.repeat(np.arange(g.num_vertices), g.out_degrees())
+        assert not np.any(src == g.columns)
+
+    def test_weighted(self):
+        g = ldbc_like_graph(300, seed=7, weighted=True)
+        assert g.weights is not None
+        assert g.weights.min() >= 1.0
+        assert g.weights.max() <= 10.0
+
+    def test_power_law_skew(self):
+        g = ldbc_like_graph(2000, seed=7)
+        degrees = np.sort(g.out_degrees())[::-1]
+        top_decile = degrees[: len(degrees) // 10].sum()
+        assert top_decile / degrees.sum() > 0.15
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            ldbc_like_graph(1)
+
+
+class TestRmat:
+    def test_size(self):
+        g = rmat_graph(8, edge_factor=4, seed=7)
+        assert g.num_vertices == 256
+        # Self loops removed, so slightly under vertices * edge_factor.
+        assert 0.8 * 1024 <= g.num_edges <= 1024
+
+    def test_deterministic(self):
+        a = rmat_graph(6, seed=7)
+        b = rmat_graph(6, seed=7)
+        assert np.array_equal(a.columns, b.columns)
+
+    def test_skewed_quadrants(self):
+        g = rmat_graph(10, edge_factor=8, seed=7)
+        # R-MAT's 'a' quadrant concentrates edges at low vertex ids.
+        low_half = (g.columns < 512).mean()
+        assert low_half > 0.55
+
+    def test_invalid_scale(self):
+        with pytest.raises(GraphError):
+            rmat_graph(0)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(GraphError):
+            rmat_graph(4, a=0.5, b=0.4, c=0.2)
+
+    def test_weighted(self):
+        g = rmat_graph(5, seed=7, weighted=True)
+        assert g.weights is not None
+
+
+class TestUniform:
+    def test_size(self):
+        g = uniform_random_graph(100, 500, seed=7)
+        assert g.num_vertices == 100
+        assert g.num_edges == 500
+
+    def test_no_self_loops(self):
+        g = uniform_random_graph(50, 400, seed=7)
+        src = np.repeat(np.arange(50), g.out_degrees())
+        assert not np.any(src == g.columns)
+
+    def test_roughly_uniform_degrees(self):
+        g = uniform_random_graph(100, 5000, seed=7)
+        degrees = g.out_degrees()
+        assert degrees.std() < degrees.mean()
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            uniform_random_graph(1, 10)
+
+
+class TestGrid:
+    def test_dimensions(self):
+        g = grid_graph(4, 5)
+        assert g.num_vertices == 20
+        # Internal edge count: horizontal 4*4*2 + vertical 3*5*2.
+        assert g.num_edges == 4 * 4 * 2 + 3 * 5 * 2
+
+    def test_symmetry(self):
+        g = grid_graph(3, 3)
+        for u, v in g.iter_edges():
+            assert g.has_edge(v, u)
+
+    def test_corner_degree(self):
+        g = grid_graph(3, 3)
+        assert g.degree(0) == 2  # top-left corner
+        assert g.degree(4) == 4  # center
+
+    def test_invalid_dims(self):
+        with pytest.raises(GraphError):
+            grid_graph(0, 3)
+
+
+class TestFamilyAndSpec:
+    def test_family_sizes(self):
+        family = ldbc_scaled_family(
+            {"a": 200, "b": 400}, seed=7
+        )
+        assert family["a"].num_vertices == 200
+        assert family["b"].num_vertices == 400
+
+    def test_default_family_shape(self):
+        family = ldbc_scaled_family(seed=7)
+        sizes = [g.num_vertices for g in family.values()]
+        assert sizes == sorted(sizes)
+        assert len(sizes) == 4
+
+    def test_graph_spec(self, tiny_csr):
+        spec = GraphSpec.of("tiny", tiny_csr, property_bytes=8)
+        assert spec.num_vertices == 6
+        assert spec.num_edges == 5
+        assert spec.footprint_bytes == tiny_csr.memory_footprint_bytes(8)

@@ -1,0 +1,236 @@
+"""Tests for the HMC model: config, commands, packets, device timing."""
+
+import pytest
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.hmc.commands import (
+    EXTENSION_COMMANDS,
+    HmcCommand,
+    command_for_atomic,
+    command_returns,
+    command_supported,
+)
+from repro.hmc.config import HmcConfig
+from repro.hmc.device import HmcDevice, _LinkLane
+from repro.hmc.packets import (
+    FLITS_PER_TRANSACTION,
+    TransactionKind,
+    atomic_transaction_kind,
+    flits_for,
+)
+from repro.trace.events import AtomicOp
+
+
+class TestHmcConfig:
+    def test_table_iv_defaults(self):
+        cfg = HmcConfig()
+        assert cfg.num_vaults == 32
+        assert cfg.banks_per_vault == 16
+        assert cfg.num_vaults * cfg.banks_per_vault == 512
+        assert cfg.num_links == 4
+        assert cfg.tCL_ns == 13.75
+        assert cfg.tRAS_ns == 27.5
+
+    def test_timing_conversion(self):
+        cfg = HmcConfig()
+        assert cfg.tCL == pytest.approx(27.5)  # 13.75 ns at 2 GHz
+        assert cfg.tRAS == pytest.approx(55.0)
+
+    def test_link_flit_rate(self):
+        cfg = HmcConfig()
+        # 4 links x 120 GB/s at 2 GHz = 240 B/cycle = 15 FLITs/cycle.
+        assert cfg.flits_per_cycle_per_direction == pytest.approx(15.0)
+
+    def test_scaled_link_bandwidth(self):
+        half = HmcConfig().scaled_link_bandwidth(0.5)
+        assert half.flits_per_cycle_per_direction == pytest.approx(7.5)
+
+    def test_with_fus(self):
+        cfg = HmcConfig().with_fus(1)
+        assert cfg.fus_per_vault == 1
+
+    def test_invalid_configs(self):
+        with pytest.raises(ConfigError):
+            HmcConfig(num_vaults=0)
+        with pytest.raises(ConfigError):
+            HmcConfig(fus_per_vault=0)
+
+
+class TestCommands:
+    def test_table_ii_mappings(self):
+        assert command_for_atomic(AtomicOp.CAS) is HmcCommand.CAS_EQUAL
+        assert command_for_atomic(AtomicOp.ADD) is HmcCommand.ADD_16
+        assert command_for_atomic(AtomicOp.SUB) is HmcCommand.ADD_16
+        assert command_for_atomic(AtomicOp.MIN) is HmcCommand.CAS_LESS
+        assert command_for_atomic(AtomicOp.MAX) is HmcCommand.CAS_GREATER
+        assert command_for_atomic(AtomicOp.FP_ADD) is HmcCommand.FP_ADD
+
+    def test_extension_gating(self):
+        assert not command_supported(HmcCommand.FP_ADD, fp_extension=False)
+        assert command_supported(HmcCommand.FP_ADD, fp_extension=True)
+        assert command_supported(HmcCommand.ADD_16, fp_extension=False)
+
+    def test_cas_always_returns(self):
+        assert command_returns(HmcCommand.CAS_EQUAL, False)
+        assert command_returns(HmcCommand.SWAP, False)
+
+    def test_add_returns_only_when_consumed(self):
+        assert not command_returns(HmcCommand.ADD_16, False)
+        assert command_returns(HmcCommand.ADD_16, True)
+
+    def test_extension_commands_are_fp(self):
+        assert HmcCommand.FP_ADD in EXTENSION_COMMANDS
+        assert HmcCommand.FP_SUB in EXTENSION_COMMANDS
+
+
+class TestPackets:
+    def test_table_v_values(self):
+        assert flits_for(TransactionKind.READ_64) == (1, 5)
+        assert flits_for(TransactionKind.WRITE_64) == (5, 1)
+        assert flits_for(TransactionKind.ATOMIC_NO_RETURN) == (2, 1)
+        assert flits_for(TransactionKind.ATOMIC_WITH_RETURN) == (2, 2)
+        assert flits_for(TransactionKind.ATOMIC_CAS_LIKE) == (2, 2)
+        assert flits_for(TransactionKind.ATOMIC_COMPARE) == (2, 1)
+
+    def test_atomic_kind_classification(self):
+        assert (
+            atomic_transaction_kind(HmcCommand.CAS_EQUAL, False)
+            is TransactionKind.ATOMIC_CAS_LIKE
+        )
+        assert (
+            atomic_transaction_kind(HmcCommand.ADD_16, False)
+            is TransactionKind.ATOMIC_NO_RETURN
+        )
+        assert (
+            atomic_transaction_kind(HmcCommand.ADD_16, True)
+            is TransactionKind.ATOMIC_WITH_RETURN
+        )
+        assert (
+            atomic_transaction_kind(HmcCommand.COMPARE_EQUAL, False)
+            is TransactionKind.ATOMIC_COMPARE
+        )
+
+    def test_atomics_cheaper_than_reads(self):
+        # The source of Figure 12's bandwidth savings.
+        read = sum(flits_for(TransactionKind.READ_64))
+        for kind in (
+            TransactionKind.ATOMIC_NO_RETURN,
+            TransactionKind.ATOMIC_WITH_RETURN,
+            TransactionKind.ATOMIC_CAS_LIKE,
+        ):
+            assert sum(flits_for(kind)) < read
+
+
+class TestLinkLane:
+    def test_no_wait_when_idle(self):
+        lane = _LinkLane(10.0)
+        done = lane.reserve(100.0, 5)
+        assert done == pytest.approx(100.5)
+
+    def test_backlog_queues(self):
+        lane = _LinkLane(1.0)
+        lane.reserve(0.0, 10)
+        done = lane.reserve(0.0, 10)
+        assert done == pytest.approx(20.0)
+
+    def test_backlog_drains_over_time(self):
+        lane = _LinkLane(1.0)
+        lane.reserve(0.0, 10)
+        done = lane.reserve(50.0, 10)
+        assert done == pytest.approx(60.0)
+
+    def test_out_of_order_request_not_starved(self):
+        # A request far in the future must not stall an earlier one.
+        lane = _LinkLane(1.0)
+        lane.reserve(1000.0, 2)
+        done = lane.reserve(10.0, 2)
+        assert done < 20.0
+
+
+class TestDevice:
+    def test_read_latency_reasonable(self):
+        device = HmcDevice()
+        completion = device.read(0, 0.0)
+        cfg = device.config
+        minimum = 2 * cfg.link_latency + cfg.tRCD + cfg.tCL
+        assert completion >= minimum
+        assert completion < 300
+
+    def test_reads_to_same_bank_serialize(self):
+        device = HmcDevice()
+        a = device.read(0, 0.0)
+        b = device.read(0, 0.0)  # same address, same bank
+        assert b > a
+
+    def test_reads_to_different_vaults_overlap(self):
+        device = HmcDevice()
+        a = device.read(0, 0.0)
+        b = device.read(64, 0.0)  # next line -> next vault
+        assert b == pytest.approx(a, rel=0.05)
+
+    def test_vault_mapping(self):
+        device = HmcDevice()
+        assert device.vault_of(0) == 0
+        assert device.vault_of(64) == 1
+        assert device.vault_of(64 * 32) == 0
+
+    def test_write_records_stats(self):
+        device = HmcDevice()
+        device.write(0, 0.0)
+        assert device.stats.dram_writes == 1
+        assert device.stats.request_flits[TransactionKind.WRITE_64] == 5
+
+    def test_pim_atomic_returns_flag(self):
+        device = HmcDevice()
+        _done, returns = device.pim_atomic(HmcCommand.CAS_EQUAL, 0, 0.0, False)
+        assert returns  # CAS always returns data
+        _done, returns = device.pim_atomic(HmcCommand.ADD_16, 64, 0.0, False)
+        assert not returns
+
+    def test_pim_atomic_locks_bank(self):
+        device = HmcDevice()
+        device.pim_atomic(HmcCommand.ADD_16, 0, 0.0, False)
+        # A read to the same bank must wait out the full RMW occupancy.
+        blocked = device.read(0, 0.0)
+        fresh = HmcDevice().read(0, 0.0)
+        assert blocked > fresh
+
+    def test_single_fu_serializes_vault_atomics(self):
+        cfg = HmcConfig(fus_per_vault=1, banks_per_vault=16)
+        device = HmcDevice(cfg)
+        # Two atomics to the same vault, different banks.
+        same_vault_stride = 64 * cfg.num_vaults  # different bank bits
+        a, _ = device.pim_atomic(HmcCommand.ADD_16, 0, 0.0, False)
+        b, _ = device.pim_atomic(
+            HmcCommand.ADD_16, 2048, 0.0, False
+        )
+        many_fu = HmcDevice(HmcConfig(fus_per_vault=16))
+        c, _ = many_fu.pim_atomic(HmcCommand.ADD_16, 0, 0.0, False)
+        d, _ = many_fu.pim_atomic(HmcCommand.ADD_16, 2048, 0.0, False)
+        assert b >= d  # fewer FUs can only be slower
+
+    def test_fp_atomic_needs_fp_fu(self):
+        device = HmcDevice(HmcConfig(fp_fus_per_vault=0))
+        with pytest.raises(SimulationError):
+            device.pim_atomic(HmcCommand.FP_ADD, 0, 0.0, False)
+
+    def test_fp_atomic_slower_than_int(self):
+        device = HmcDevice()
+        int_done, _ = device.pim_atomic(HmcCommand.ADD_16, 0, 0.0, False)
+        fp_device = HmcDevice()
+        fp_done, _ = fp_device.pim_atomic(HmcCommand.FP_ADD, 0, 0.0, False)
+        assert fp_done > int_done
+
+    def test_atomic_counts_rmw_energy_events(self):
+        device = HmcDevice()
+        device.pim_atomic(HmcCommand.ADD_16, 0, 0.0, False)
+        assert device.stats.dram_reads == 1
+        assert device.stats.dram_writes == 1
+        assert device.stats.fu_int_ops == 1
+
+    def test_flit_totals(self):
+        device = HmcDevice()
+        device.read(0, 0.0)
+        device.pim_atomic(HmcCommand.CAS_EQUAL, 64, 0.0, True)
+        assert device.stats.total_request_flits == 1 + 2
+        assert device.stats.total_response_flits == 5 + 2

@@ -1,0 +1,171 @@
+"""Tests for the hybrid HMC+DDR extension and the LLC prefetcher."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.dram.device import DdrConfig, DdrDevice
+from repro.dram.memory_system import MemorySystem
+from repro.hmc.commands import HmcCommand
+from repro.hmc.device import HmcDevice
+from repro.memlayout.regions import REGION_BASE, Region
+from repro.sim.config import SystemConfig
+from repro.sim.system import simulate
+from repro.workloads import get_workload
+
+PROP = REGION_BASE[Region.PROPERTY]
+META = REGION_BASE[Region.META]
+
+
+class TestDdrDevice:
+    def test_read_latency_positive(self):
+        device = DdrDevice()
+        completion = device.read(0, 0.0)
+        assert completion > 0
+        assert device.stats.reads == 1
+
+    def test_ddr_slower_than_hmc(self):
+        ddr = DdrDevice().read(0, 0.0)
+        hmc = HmcDevice().read(0, 0.0)
+        # Similar DRAM timing, but the DDR controller overhead and
+        # narrower bus make it at least comparable-or-slower.
+        assert ddr >= hmc * 0.8
+
+    def test_same_bank_serializes(self):
+        device = DdrDevice()
+        a = device.read(0, 0.0)
+        b = device.read(0, 0.0)
+        assert b > a
+
+    def test_write_posted(self):
+        device = DdrDevice()
+        done = device.write(0, 0.0)
+        assert done > 0
+        assert device.stats.writes == 1
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigError):
+            DdrConfig(num_channels=0)
+
+
+class TestMemorySystem:
+    def test_pure_hmc_routes_everything_to_hmc(self):
+        memory = MemorySystem(HmcDevice())
+        assert not memory.is_hybrid
+        assert memory.in_hmc(META + 64)
+        assert memory.in_hmc(PROP + 64)
+
+    def test_hybrid_meta_goes_to_ddr(self):
+        memory = MemorySystem(HmcDevice(), DdrDevice(), 1.0)
+        assert memory.is_hybrid
+        assert not memory.in_hmc(META + 64)
+
+    def test_hybrid_fraction_extremes(self):
+        all_hmc = MemorySystem(HmcDevice(), DdrDevice(), 1.0)
+        no_hmc = MemorySystem(HmcDevice(), DdrDevice(), 0.0)
+        for i in range(50):
+            addr = PROP + i * 64
+            assert all_hmc.in_hmc(addr)
+            assert not no_hmc.in_hmc(addr)
+
+    def test_hybrid_fraction_splits_lines(self):
+        memory = MemorySystem(HmcDevice(), DdrDevice(), 0.5)
+        resident = sum(
+            memory.in_hmc(PROP + i * 64) for i in range(1000)
+        )
+        assert 350 < resident < 650
+
+    def test_residence_is_per_line(self):
+        memory = MemorySystem(HmcDevice(), DdrDevice(), 0.5)
+        addr = PROP + 12 * 64
+        assert memory.in_hmc(addr) == memory.in_hmc(addr + 63)
+
+    def test_pim_atomic_to_ddr_rejected(self):
+        memory = MemorySystem(HmcDevice(), DdrDevice(), 0.0)
+        with pytest.raises(ConfigError):
+            memory.pim_atomic(HmcCommand.ADD_16, PROP, 0.0, False)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigError):
+            MemorySystem(HmcDevice(), DdrDevice(), 1.5)
+
+    def test_dram_stats_exposed(self):
+        memory = MemorySystem(HmcDevice(), DdrDevice(), 0.0)
+        memory.read(PROP, 0.0)
+        assert memory.dram_stats.reads == 1
+
+
+class TestHybridSimulation:
+    @pytest.fixture(scope="class")
+    def run(self, small_graph_class):
+        return get_workload("DC").run(small_graph_class, num_threads=8)
+
+    @pytest.fixture(scope="class")
+    def small_graph_class(self):
+        from repro.graph.generators import ldbc_like_graph
+
+        return ldbc_like_graph(400, seed=7)
+
+    def _hybrid_config(self, fraction):
+        return SystemConfig.graphpim(
+            dram=DdrConfig(), property_hmc_fraction=fraction
+        )
+
+    def test_full_hmc_fraction_offloads_all(self, run):
+        result = simulate(run.trace, self._hybrid_config(1.0))
+        assert result.core_stats.offloaded_atomics == run.stats.atomics
+        assert result.core_stats.host_atomics == 0
+
+    def test_zero_fraction_offloads_none(self, run):
+        result = simulate(run.trace, self._hybrid_config(0.0))
+        assert result.core_stats.offloaded_atomics == 0
+        assert result.core_stats.host_atomics == run.stats.atomics
+
+    def test_partial_fraction_splits(self, run):
+        result = simulate(run.trace, self._hybrid_config(0.5))
+        assert result.core_stats.offloaded_atomics > 0
+        assert result.core_stats.host_atomics > 0
+
+    def test_speedup_grows_with_hmc_fraction(self, run):
+        cycles = [
+            simulate(run.trace, self._hybrid_config(f)).cycles
+            for f in (0.0, 0.5, 1.0)
+        ]
+        assert cycles[0] > cycles[1] > cycles[2]
+
+    def test_hybrid_uses_both_devices(self, run):
+        result = simulate(run.trace, self._hybrid_config(0.5))
+        assert result.dram_stats is not None
+        assert result.dram_stats.reads > 0
+        assert result.hmc_stats.total_flits > 0
+
+    def test_pure_hmc_has_no_dram_stats(self, run):
+        result = simulate(run.trace, SystemConfig.graphpim())
+        assert result.dram_stats is None
+
+
+class TestPrefetcher:
+    @pytest.fixture(scope="class")
+    def run(self):
+        from repro.graph.generators import ldbc_like_graph
+
+        graph = ldbc_like_graph(400, seed=7)
+        return get_workload("BFS").run(graph, num_threads=8)
+
+    def test_prefetcher_issues_prefetches(self, run):
+        result = simulate(
+            run.trace, SystemConfig.baseline(prefetch_next_line=True)
+        )
+        assert result.cache_prefetches > 0
+
+    def test_prefetcher_cannot_fix_candidate_misses(self, run):
+        # Section II-C: conventional prefetching cannot help the
+        # irregular property access pattern.
+        off = simulate(run.trace, SystemConfig.baseline())
+        on = simulate(
+            run.trace, SystemConfig.baseline(prefetch_next_line=True)
+        )
+        assert on.candidate_miss_rate() > off.candidate_miss_rate() - 0.1
+
+    def test_prefetcher_off_by_default(self, run):
+        result = simulate(run.trace, SystemConfig.baseline())
+        assert result.cache_prefetches == 0

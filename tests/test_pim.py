@@ -1,0 +1,114 @@
+"""Tests for the PIM offload unit and applicability analysis."""
+
+import pytest
+
+from repro.graph.generators import uniform_random_graph
+from repro.hmc.commands import HmcCommand
+from repro.pim.applicability import (
+    applicability_table,
+    offload_target_table,
+    verify_applicability_against_trace,
+)
+from repro.pim.offload import PimOffloadUnit
+from repro.trace.events import AtomicOp
+from repro.workloads.registry import all_workloads, get_workload
+
+
+class TestPimOffloadUnit:
+    def test_pmr_atomic_offloads(self):
+        pou = PimOffloadUnit()
+        decision = pou.decide(AtomicOp.CAS, in_pmr=True)
+        assert decision.offload
+        assert decision.command is HmcCommand.CAS_EQUAL
+
+    def test_non_pmr_atomic_stays(self):
+        pou = PimOffloadUnit()
+        decision = pou.decide(AtomicOp.CAS, in_pmr=False)
+        assert not decision.offload
+        assert decision.command is None
+        assert "PMR" in decision.reason
+
+    def test_fp_without_extension_stays(self):
+        pou = PimOffloadUnit(fp_extension=False)
+        decision = pou.decide(AtomicOp.FP_ADD, in_pmr=True)
+        assert not decision.offload
+        assert "extension" in decision.reason
+
+    def test_fp_with_extension_offloads(self):
+        pou = PimOffloadUnit(fp_extension=True)
+        decision = pou.decide(AtomicOp.FP_ADD, in_pmr=True)
+        assert decision.offload
+        assert decision.command is HmcCommand.FP_ADD
+
+    def test_every_host_op_maps(self):
+        pou = PimOffloadUnit()
+        for op in AtomicOp:
+            decision = pou.decide(op, in_pmr=True)
+            assert decision.command is not None
+
+
+class TestOffloadTargetTable:
+    def test_contains_paper_rows(self):
+        rows = {r.workload: r for r in offload_target_table()}
+        assert rows["Breadth-first search"].host_instruction == "lock cmpxchg"
+        assert rows["Breadth-first search"].pim_atomic_type == "CAS if equal"
+        assert rows["Degree centrality"].host_instruction == "lock addw"
+        assert rows["Degree centrality"].pim_atomic_type == "Signed add"
+        assert rows["K-core decomposition"].host_instruction == "lock subw"
+        assert rows["Triangle count"].pim_atomic_type == "Signed add"
+        assert rows["Shortest path"].pim_atomic_type == "CAS if equal"
+        assert rows["Connected component"].pim_atomic_type == "CAS if equal"
+
+    def test_fp_workloads_excluded(self):
+        names = {r.workload for r in offload_target_table()}
+        assert "Page rank" not in names
+        assert "Betweenness centrality" not in names
+
+
+class TestApplicabilityTable:
+    def test_covers_all_workloads(self):
+        assert len(applicability_table()) == len(all_workloads())
+
+    def test_paper_applicability_split(self):
+        rows = {r.workload: r for r in applicability_table()}
+        applicable = {
+            "Breadth-first search",
+            "Depth-first search",
+            "Degree centrality",
+            "Shortest path",
+            "K-core decomposition",
+            "Connected component",
+            "Triangle count",
+        }
+        for name, row in rows.items():
+            assert row.applicable == (name in applicable), name
+
+    def test_missing_operations_match_paper(self):
+        rows = {r.workload: r for r in applicability_table()}
+        assert rows["Page rank"].missing_operation == "Floating point add"
+        assert rows["Gibbs inference"].missing_operation == (
+            "Computation intensive"
+        )
+        assert rows["Graph construction"].missing_operation == (
+            "Complex operation"
+        )
+
+    def test_fp_extension_flags(self):
+        rows = {r.workload: r for r in applicability_table()}
+        assert rows["Page rank"].needs_fp_extension
+        assert rows["Betweenness centrality"].needs_fp_extension
+        assert not rows["Gibbs inference"].needs_fp_extension
+
+
+class TestTraceVerification:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return uniform_random_graph(120, 600, seed=5)
+
+    @pytest.mark.parametrize("code", ["BFS", "DC", "GInfer", "GCons"])
+    def test_claims_hold_on_traces(self, graph, code):
+        workload = get_workload(code)
+        consistent, fraction = verify_applicability_against_trace(
+            workload, graph
+        )
+        assert consistent, (code, fraction)

