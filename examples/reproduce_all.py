@@ -13,8 +13,11 @@ scale (slow).
 import sys
 import time
 
+from repro.analysis import check_strict, lint_config
 from repro.harness import EXPERIMENTS, get_experiment, run_experiment
 from repro.harness.charts import bar_chart
+from repro.harness.suite import set_strict
+from repro.sim.config import SystemConfig
 
 DEFAULT_ORDER = [
     "fig01", "fig02", "fig04",
@@ -37,6 +40,14 @@ def main() -> None:
     unknown = [e for e in experiments if e not in EXPERIMENTS]
     if unknown:
         raise SystemExit(f"unknown experiments: {unknown}")
+
+    # Lint pre-flight: validate the three evaluated configurations up
+    # front and lint + race-check every suite trace before it is
+    # simulated, so the run fails fast on invariant violations instead
+    # of rendering skewed figures.
+    for config in SystemConfig().evaluation_trio():
+        check_strict(lint_config(config))
+    set_strict(True)
 
     print(f"Reproducing {len(experiments)} artifacts at scale={scale!r}\n")
     total_start = time.time()

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# CI gate: style lint, type check, tier-1 tests, and a trace-lint smoke
+# run over a freshly generated workload trace.
+#
+# ruff and mypy are optional (the offline test image ships without
+# them); when absent the step is skipped with a notice instead of
+# failing, so the script is usable both locally and in minimal CI.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+export PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}"
+
+failures=0
+
+step() {
+    echo
+    echo "==> $1"
+}
+
+run_or_fail() {
+    if ! "$@"; then
+        failures=$((failures + 1))
+    fi
+}
+
+step "ruff (style lint)"
+if python -m ruff --version >/dev/null 2>&1; then
+    run_or_fail python -m ruff check src tests benchmarks examples
+else
+    echo "ruff not installed; skipping (pip install ruff)"
+fi
+
+step "mypy (type check)"
+if python -m mypy --version >/dev/null 2>&1; then
+    run_or_fail python -m mypy
+else
+    echo "mypy not installed; skipping (pip install mypy)"
+fi
+
+step "pytest (tier-1 tests)"
+run_or_fail python -m pytest -q tests
+
+step "repro lint (config presets)"
+for preset in baseline upei graphpim; do
+    run_or_fail python -m repro lint "$preset"
+done
+
+step "repro lint (generated trace)"
+trace_file="$(mktemp -d)/bfs.npz"
+run_or_fail python -m repro trace BFS --vertices 400 -o "$trace_file"
+run_or_fail python -m repro lint "$trace_file"
+rm -f "$trace_file"
+
+echo
+if [ "$failures" -ne 0 ]; then
+    echo "check.sh: $failures step(s) FAILED"
+    exit 1
+fi
+echo "check.sh: all steps passed"

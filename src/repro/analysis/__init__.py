@@ -1,0 +1,79 @@
+"""Static analysis of traces, memory layouts, and system configs.
+
+This package checks — without running the timing model — the
+invariants GraphPIM's correctness rests on: property data lives in the
+uncacheable PMR, every offloaded atomic maps onto one of the 18
+fixed-function HMC 2.0 commands (plus the proposed FP extension), and
+bulk-synchronous workloads neither race within a barrier epoch nor
+mismatch their barrier sequences.  Misplaced data and non-offloadable
+ops are the classic source of silently wrong PIM speedups; the linter
+turns them into hard failures.
+
+Entry points:
+
+- :func:`lint_trace` — event-stream invariants (PIM/TRC rules).
+- :func:`detect_races` — barrier-epoch data races (RACE rules).
+- :func:`lint_config` — ``SystemConfig`` validation (CFG rules).
+- :func:`analyze_run` — all of the above for one ``WorkloadRun``.
+- :func:`check_strict` — raise :class:`AnalysisError` on ERROR
+  findings (the ``strict=True`` pre-flight hook of
+  ``GraphPimSystem.evaluate`` and the harness suites).
+
+CLI: ``python -m repro lint <trace.npz | baseline | upei | graphpim>``
+exits non-zero when any ERROR-severity finding is present, so CI can
+gate on it.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import AnalysisError
+from repro.sim.config import SystemConfig
+from repro.analysis.config_lint import lint_config
+from repro.analysis.findings import AnalysisReport, Finding, Severity
+from repro.analysis.race import detect_races
+from repro.analysis.report import describe_rules, render_json, render_report
+from repro.analysis.rules import RULES, Rule, get_rule, make_finding
+from repro.analysis.trace_lint import lint_trace
+
+
+def analyze_run(run, config: SystemConfig | None = None) -> AnalysisReport:
+    """Full static analysis of one ``WorkloadRun``.
+
+    Lints the trace against ``config`` (GraphPIM preset by default)
+    using the run's own allocation map, then layers the race detector's
+    findings on top.
+    """
+    report = lint_trace(
+        run.trace, config=config, address_space=run.address_space
+    )
+    return report.extend(detect_races(run.trace))
+
+
+def check_strict(report: AnalysisReport) -> None:
+    """Raise :class:`AnalysisError` if ``report`` contains ERRORs."""
+    if report.has_errors:
+        raise AnalysisError(
+            f"static analysis of {report.subject} found "
+            f"{len(report.errors)} ERROR finding(s):\n"
+            + render_report(report)
+        )
+
+
+__all__ = [
+    "AnalysisError",
+    "AnalysisReport",
+    "Finding",
+    "RULES",
+    "Rule",
+    "Severity",
+    "analyze_run",
+    "check_strict",
+    "describe_rules",
+    "detect_races",
+    "get_rule",
+    "lint_config",
+    "lint_trace",
+    "make_finding",
+    "render_json",
+    "render_report",
+]

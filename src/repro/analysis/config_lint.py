@@ -1,0 +1,174 @@
+"""Config validator for :class:`SystemConfig` / HMC / cache parameters.
+
+The dataclass ``__post_init__`` hooks already reject values that would
+crash the simulator (negative counts, out-of-range fractions); this
+validator layers on the *semantic* checks — geometry the set-index
+math assumes, the HMC 2.0 structural envelope, and flag combinations
+that silently change what a run means:
+
+- ``CFG001`` — non-power-of-two cache sets or line size (the set-index
+  ``line % num_sets`` and line-address shift assume powers of two).
+- ``CFG002`` — cache capacities not monotone L1 <= L2 <= L3 (the
+  hierarchy is inclusive; an L3 smaller than a private level thrashes
+  by construction).
+- ``CFG003`` — HMC geometry outside the HMC 2.0 envelope (at most 32
+  vaults, 16 banks/vault, 4 links), or a non-power-of-two vault count
+  (WARNING: the vault hash assumes uniform spread).
+- ``CFG004`` — mode-inconsistent flags, e.g. GraphPIM with the UC
+  bypass disabled (the coherence-hazard ablation) or a prefetcher
+  combined with PMR bypass (it can only touch non-PMR lines).
+- ``CFG005`` — ``property_hmc_fraction < 1`` without a DDR device: the
+  memory system treats everything as HMC-resident, so the fraction is
+  silently ignored.
+"""
+
+from __future__ import annotations
+
+from repro.sim.cache import CacheConfig
+from repro.sim.config import Mode, SystemConfig
+from repro.analysis.findings import AnalysisReport, Severity
+from repro.analysis.rules import make_finding
+
+#: HMC 2.0 structural maxima (spec values; Table IV uses all of them).
+HMC2_MAX_VAULTS = 32
+HMC2_MAX_BANKS_PER_VAULT = 16
+HMC2_MAX_LINKS = 4
+
+
+def _is_pow2(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
+def _lint_cache_level(
+    report: AnalysisReport, name: str, cache: CacheConfig
+) -> None:
+    if not _is_pow2(cache.line_bytes):
+        report.add(
+            make_finding(
+                "CFG001",
+                f"{name} line size {cache.line_bytes} is not a power of "
+                f"two (line-address shift assumes 64B-style lines)",
+            )
+        )
+    if not _is_pow2(cache.num_sets):
+        report.add(
+            make_finding(
+                "CFG001",
+                f"{name} has {cache.num_sets} sets (not a power of two); "
+                f"set indexing will be non-uniform",
+                fix_hint="choose size = ways x line_bytes x 2^k",
+            )
+        )
+
+
+def lint_config(config: SystemConfig) -> AnalysisReport:
+    """Validate one :class:`SystemConfig`; returns structured findings."""
+    report = AnalysisReport(subject=config.display_name)
+
+    for name, cache in (
+        ("L1", config.l1),
+        ("L2", config.l2),
+        ("L3", config.l3),
+    ):
+        _lint_cache_level(report, name, cache)
+    if not (
+        config.l1.size_bytes <= config.l2.size_bytes <= config.l3.size_bytes
+    ):
+        report.add(
+            make_finding(
+                "CFG002",
+                f"cache capacities not monotone: L1={config.l1.size_bytes}B"
+                f" L2={config.l2.size_bytes}B L3={config.l3.size_bytes}B "
+                f"(hierarchy is inclusive)",
+            )
+        )
+
+    hmc = config.hmc
+    if hmc.num_vaults > HMC2_MAX_VAULTS:
+        report.add(
+            make_finding(
+                "CFG003",
+                f"{hmc.num_vaults} vaults exceeds the HMC 2.0 maximum of "
+                f"{HMC2_MAX_VAULTS}",
+            )
+        )
+    if hmc.banks_per_vault > HMC2_MAX_BANKS_PER_VAULT:
+        report.add(
+            make_finding(
+                "CFG003",
+                f"{hmc.banks_per_vault} banks/vault exceeds the HMC 2.0 "
+                f"maximum of {HMC2_MAX_BANKS_PER_VAULT}",
+            )
+        )
+    if hmc.num_links > HMC2_MAX_LINKS:
+        report.add(
+            make_finding(
+                "CFG003",
+                f"{hmc.num_links} links exceeds the HMC 2.0 maximum of "
+                f"{HMC2_MAX_LINKS}",
+            )
+        )
+    if not _is_pow2(hmc.num_vaults):
+        report.add(
+            make_finding(
+                "CFG003",
+                f"vault count {hmc.num_vaults} is not a power of two; "
+                f"the address-to-vault hash will be non-uniform",
+                severity=Severity.WARNING,
+            )
+        )
+    if hmc.tRAS_ns < hmc.tRCD_ns:
+        report.add(
+            make_finding(
+                "CFG003",
+                f"tRAS ({hmc.tRAS_ns} ns) is shorter than tRCD "
+                f"({hmc.tRCD_ns} ns); a row cannot close before it opens",
+                severity=Severity.WARNING,
+            )
+        )
+
+    if config.mode is Mode.GRAPHPIM and not config.pmr_bypass:
+        report.add(
+            make_finding(
+                "CFG004",
+                "GraphPIM mode with pmr_bypass=False caches PMR data "
+                "while offloading atomics — coherence is idealized as "
+                "free (ablation only)",
+                fix_hint="only use this combination for the Section "
+                "III-B bypass ablation",
+            )
+        )
+    if config.mode is Mode.GRAPHPIM and config.fp_extension is False:
+        report.add(
+            make_finding(
+                "CFG004",
+                "GraphPIM without the FP extension executes PRank/BC "
+                "property updates host-side on UC memory (expected for "
+                "the HMC-2.0-only configuration)",
+                severity=Severity.INFO,
+            )
+        )
+    if config.prefetch_next_line and config.pmr_bypass and (
+        config.mode is Mode.GRAPHPIM
+    ):
+        report.add(
+            make_finding(
+                "CFG004",
+                "next-line prefetcher with PMR bypass can only prefetch "
+                "non-PMR lines (Section II-C ablation setting)",
+                severity=Severity.INFO,
+            )
+        )
+
+    if config.property_hmc_fraction < 1.0 and config.dram is None:
+        report.add(
+            make_finding(
+                "CFG005",
+                f"property_hmc_fraction={config.property_hmc_fraction} "
+                f"has no effect without a DDR device: the pure-HMC memory "
+                f"system treats every line as HMC-resident",
+                fix_hint="set dram=DdrConfig() for hybrid-memory runs",
+            )
+        )
+
+    return report

@@ -1,0 +1,107 @@
+"""Structured analysis findings.
+
+Every analyzer in :mod:`repro.analysis` reports its results as
+:class:`Finding` objects collected in an :class:`AnalysisReport`, so the
+CLI, the strict pre-flight hooks, and the tests all consume one shape:
+a rule id (see :mod:`repro.analysis.rules`), a severity, an optional
+(thread, event-index) location, and a fix hint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+
+class Severity(IntEnum):
+    """Finding severities; ordering supports ``max()`` aggregation."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation (or notable observation) from an analyzer."""
+
+    rule_id: str
+    severity: Severity
+    message: str
+    #: Thread that produced the offending event (traces only).
+    thread_id: int | None = None
+    #: Index of the offending event within its thread's stream.
+    event_index: int | None = None
+    #: Short suggestion for making the input clean.
+    fix_hint: str = ""
+
+    def location(self) -> str:
+        """Human-readable ``thread/event`` location, or ``"-"``."""
+        if self.thread_id is None:
+            return "-"
+        if self.event_index is None:
+            return f"t{self.thread_id}"
+        return f"t{self.thread_id}#{self.event_index}"
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (CLI ``--json`` output)."""
+        return {
+            "rule_id": self.rule_id,
+            "severity": self.severity.name,
+            "message": self.message,
+            "thread_id": self.thread_id,
+            "event_index": self.event_index,
+            "fix_hint": self.fix_hint,
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """Findings from one analysis pass over one subject."""
+
+    subject: str
+    findings: list[Finding] = field(default_factory=list)
+
+    def add(self, finding: Finding) -> None:
+        """Append one finding."""
+        self.findings.append(finding)
+
+    def extend(self, other: "AnalysisReport") -> "AnalysisReport":
+        """Merge another report's findings into this one (returns self)."""
+        self.findings.extend(other.findings)
+        return self
+
+    def by_severity(self, severity: Severity) -> list[Finding]:
+        """Findings at exactly ``severity``."""
+        return [f for f in self.findings if f.severity is severity]
+
+    @property
+    def errors(self) -> list[Finding]:
+        """ERROR-severity findings (the CI-gating subset)."""
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def has_errors(self) -> bool:
+        """Whether any finding is ERROR severity."""
+        return any(f.severity is Severity.ERROR for f in self.findings)
+
+    def rule_ids(self) -> set[str]:
+        """Distinct rule ids present in the report."""
+        return {f.rule_id for f in self.findings}
+
+    def count(self, rule_id: str) -> int:
+        """Number of findings for one rule."""
+        return sum(1 for f in self.findings if f.rule_id == rule_id)
+
+    def exit_code(self) -> int:
+        """Process exit code for CI gating: 1 on any ERROR, else 0."""
+        return 1 if self.has_errors else 0
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def __repr__(self) -> str:
+        return (
+            f"AnalysisReport(subject={self.subject!r}, "
+            f"findings={len(self.findings)}, errors={len(self.errors)})"
+        )

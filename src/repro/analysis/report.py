@@ -1,0 +1,62 @@
+"""Rendering of analysis reports for the CLI and the strict hooks."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.findings import AnalysisReport, Severity
+from repro.analysis.rules import RULES
+
+_SEVERITY_TAGS = {
+    Severity.INFO: "info ",
+    Severity.WARNING: "WARN ",
+    Severity.ERROR: "ERROR",
+}
+
+
+def render_report(report: AnalysisReport, verbose: bool = False) -> str:
+    """Human-readable text rendering, most severe findings first."""
+    lines = [f"analysis of {report.subject}: {len(report)} finding(s)"]
+    ordered = sorted(
+        report.findings, key=lambda f: (-int(f.severity), f.rule_id)
+    )
+    for finding in ordered:
+        tag = _SEVERITY_TAGS[finding.severity]
+        lines.append(
+            f"  {tag} {finding.rule_id} [{finding.location():>10s}] "
+            f"{finding.message}"
+        )
+        if verbose and finding.fix_hint:
+            lines.append(f"        hint: {finding.fix_hint}")
+    counts = {
+        severity: len(report.by_severity(severity)) for severity in Severity
+    }
+    lines.append(
+        f"  summary: {counts[Severity.ERROR]} error(s), "
+        f"{counts[Severity.WARNING]} warning(s), "
+        f"{counts[Severity.INFO]} note(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    """Machine-readable rendering (``repro lint --json``)."""
+    return json.dumps(
+        {
+            "subject": report.subject,
+            "findings": [f.to_dict() for f in report.findings],
+            "errors": len(report.errors),
+        },
+        indent=2,
+    )
+
+
+def describe_rules() -> str:
+    """One line per registered rule (``repro lint --rules``)."""
+    lines = []
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        lines.append(
+            f"{rule_id}  {rule.severity.name:7s} {rule.summary}"
+        )
+    return "\n".join(lines)

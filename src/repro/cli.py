@@ -7,13 +7,21 @@
     python -m repro trace DC --vertices 2000 -o dc.npz
     python -m repro simulate dc.npz --mode graphpim
     python -m repro experiment fig07 --scale small
+    python -m repro lint dc.npz
+    python -m repro lint graphpim
+
+Exit codes: 0 on success, 1 when ``lint`` reports ERROR findings, 2 on
+invalid invocations (unknown subcommand/workload, bad input file) — so
+CI can gate on any of them.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from repro.common.errors import ReproError
 from repro.core.api import GraphPimSystem
 from repro.core.presets import workload_params
 from repro.graph.generators import ldbc_like_graph
@@ -65,6 +73,48 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("experiment_id", help="e.g. fig07 or tab03")
     experiment.add_argument(
         "--scale", choices=("tiny", "small", "paper"), default="small"
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis of a saved trace or a system config",
+    )
+    lint.add_argument(
+        "target",
+        nargs="?",
+        help="a .npz trace file, or a config preset name "
+        "(baseline/upei/graphpim)",
+    )
+    lint.add_argument(
+        "--mode",
+        choices=sorted(_MODE_CTORS),
+        default="graphpim",
+        help="config the trace is checked against (default: graphpim)",
+    )
+    lint.add_argument(
+        "--no-races",
+        action="store_true",
+        help="skip the barrier-epoch race detector",
+    )
+    lint.add_argument(
+        "--no-fp-ext",
+        action="store_true",
+        help="lint against the plain HMC 2.0 command set (no FP "
+        "add/sub extension)",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    lint.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="include fix hints in the output",
+    )
+    lint.add_argument(
+        "--rules",
+        action="store_true",
+        help="list the registered rule ids and exit",
     )
     return parser
 
@@ -137,19 +187,76 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import (
+        describe_rules,
+        detect_races,
+        lint_config,
+        lint_trace,
+        render_json,
+        render_report,
+    )
+
+    if args.rules:
+        print(describe_rules())
+        return 0
+    if args.target is None:
+        print("lint: a trace file or config preset name is required",
+              file=sys.stderr)
+        return 2
+
+    if args.target in _MODE_CTORS:
+        report = lint_config(_MODE_CTORS[args.target]())
+    else:
+        # Raw load: the linter reports malformed traces as findings
+        # instead of dying on the loader's own fail-fast checks.
+        trace = load_trace(args.target, validate=False)
+        config = _MODE_CTORS[args.mode]()
+        if args.no_fp_ext:
+            import dataclasses
+
+            config = dataclasses.replace(config, fp_extension=False)
+        report = lint_trace(trace, config=config)
+        if not args.no_races:
+            report.extend(detect_races(trace))
+    print(render_json(report) if args.json else
+          render_report(report, verbose=args.verbose))
+    return report.exit_code()
+
+
 _COMMANDS = {
     "workloads": _cmd_workloads,
     "run": _cmd_run,
     "trace": _cmd_trace,
     "simulate": _cmd_simulate,
     "experiment": _cmd_experiment,
+    "lint": _cmd_lint,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Invalid invocations — unknown workloads, malformed trace files,
+    inconsistent configurations — exit 2 with the error on stderr
+    instead of a traceback, so scripts and CI can gate on the code.
+    """
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"repro {args.command}: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"repro {args.command}: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe; redirect
+        # stdout at the descriptor level so the interpreter's shutdown
+        # flush does not raise again, and exit like a SIGPIPE'd process.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 128 + 13
 
 
 if __name__ == "__main__":  # pragma: no cover

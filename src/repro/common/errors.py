@@ -27,3 +27,12 @@ class AllocationError(ReproError):
 
 class GraphError(ReproError):
     """A graph structure was malformed or an operation was invalid."""
+
+
+class AnalysisError(ReproError):
+    """Static analysis found ERROR-severity invariant violations.
+
+    Raised by the strict pre-flight hooks (``GraphPimSystem.evaluate``
+    and the harness suites) so a reproduction run fails fast instead of
+    producing skewed figures.
+    """

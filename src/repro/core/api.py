@@ -72,15 +72,23 @@ class GraphPimSystem:
     num_threads:
         Virtual threads the workload is partitioned over (= active
         cores in the simulation).
+    strict:
+        Run the static-analysis pre-flight (:mod:`repro.analysis`)
+        before every simulation: the config is validated and each trace
+        is linted + race-checked; ERROR findings raise
+        :class:`~repro.common.errors.AnalysisError` instead of
+        producing skewed results.
     """
 
     def __init__(
         self,
         config: SystemConfig | None = None,
         num_threads: int = 16,
+        strict: bool = False,
     ):
         self.config = config or SystemConfig()
         self.num_threads = num_threads
+        self.strict = strict
 
     def trace(self, workload_code: str, graph: CsrGraph, **params) -> WorkloadRun:
         """Phase 1: run the workload functionally and capture its trace."""
@@ -92,20 +100,47 @@ class GraphPimSystem:
         workload_code: str,
         graph: CsrGraph,
         modes: list[SystemConfig] | None = None,
+        strict: bool | None = None,
         **params,
     ) -> EvaluationReport:
-        """Phases 1+2: trace once, simulate under every mode."""
+        """Phases 1+2: trace once, simulate under every mode.
+
+        ``strict`` overrides the instance-level setting; when active,
+        the lint/race pre-flight runs on the captured trace before any
+        timing simulation and raises on ERROR findings.
+        """
         run = self.trace(workload_code, graph, **params)
-        return self.evaluate_trace(run, modes)
+        return self.evaluate_trace(run, modes, strict=strict)
 
     def evaluate_trace(
-        self, run: WorkloadRun, modes: list[SystemConfig] | None = None
+        self,
+        run: WorkloadRun,
+        modes: list[SystemConfig] | None = None,
+        strict: bool | None = None,
     ) -> EvaluationReport:
         """Phase 2 only: simulate an existing trace under every mode."""
         configs = modes or self.config.evaluation_trio()
+        if self.strict if strict is None else strict:
+            self._preflight(run, configs)
         report = EvaluationReport(
             workload_code=run.workload.code, run=run
         )
         for config in configs:
             report.results[config.display_name] = simulate(run.trace, config)
         return report
+
+    def _preflight(
+        self, run: WorkloadRun, configs: list[SystemConfig]
+    ) -> None:
+        """Strict-mode static analysis; raises AnalysisError on ERRORs."""
+        from repro.analysis import analyze_run, check_strict, lint_config
+        from repro.sim.config import Mode
+
+        for config in configs:
+            check_strict(lint_config(config))
+        # Lint the trace against the mode that actually offloads, so the
+        # PMR command-set and UC rules see the operative flags.
+        lint_cfg = next(
+            (c for c in configs if c.mode is Mode.GRAPHPIM), self.config
+        )
+        check_strict(analyze_run(run, config=lint_cfg))

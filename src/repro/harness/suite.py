@@ -24,13 +24,42 @@ _EVAL_CACHE: dict[str, dict[str, EvaluationReport]] = {}
 _MOTIVATION_CACHE: dict[str, dict[str, tuple[WorkloadRun, SimResult]]] = {}
 _PLAIN_CACHE: dict[str, dict[str, SimResult]] = {}
 
+#: When True, every suite trace goes through the static-analysis
+#: pre-flight (lint + race detection) before it is simulated, and
+#: ERROR findings abort the run (:class:`AnalysisError`).  Enabled by
+#: ``examples/reproduce_all.py`` so a full reproduction fails fast on
+#: invariant violations instead of rendering skewed figures.
+_STRICT = False
+
+
+def set_strict(strict: bool) -> bool:
+    """Toggle the suite-wide lint pre-flight; returns the old value."""
+    global _STRICT
+    previous = _STRICT
+    _STRICT = bool(strict)
+    return previous
+
+
+def strict_enabled() -> bool:
+    """Whether the suite-wide lint pre-flight is active."""
+    return _STRICT
+
 
 def trace_workload(code: str, scale: str | None = None) -> WorkloadRun:
-    """Trace one workload on its bench graph at the given scale."""
+    """Trace one workload on its bench graph at the given scale.
+
+    With :func:`set_strict` active the captured trace is linted and
+    race-checked before it is returned to any simulation.
+    """
     scale = resolve_scale(scale)
     graph = workload_graph(code, scale)
     workload = get_workload(code)
-    return workload.run(graph, num_threads=16, **workload_params(code))
+    run = workload.run(graph, num_threads=16, **workload_params(code))
+    if _STRICT:
+        from repro.analysis import analyze_run, check_strict
+
+        check_strict(analyze_run(run, config=SystemConfig.graphpim()))
+    return run
 
 
 def evaluation_suite(
@@ -73,7 +102,12 @@ def motivation_suite(
 
 
 def plain_atomics_suite(scale: str | None = None) -> dict[str, SimResult]:
-    """Figure 4's "without atomics" runs: atomics recorded as load+store."""
+    """Figure 4's "without atomics" runs: atomics recorded as load+store.
+
+    Deliberately exempt from the strict pre-flight: recording shared
+    atomics as plain load+store pairs is *exactly* the data race the
+    detector exists to flag — that is the point of the micro-benchmark.
+    """
     scale = resolve_scale(scale)
     if scale not in _PLAIN_CACHE:
         baseline_config = SystemConfig.baseline()

@@ -49,8 +49,13 @@ FP_COMMANDS = frozenset({HmcCommand.FP_ADD, HmcCommand.FP_SUB})
 #: Commands introduced by the paper's proposed extension.
 EXTENSION_COMMANDS = FP_COMMANDS
 
-#: Host atomic op -> HMC command (Table II mapping).
-_HOST_TO_HMC: dict[AtomicOp, HmcCommand] = {
+#: Host atomic op -> HMC command (Table II mapping).  This table is the
+#: single source of truth for offloadability: the POU
+#: (:mod:`repro.pim.offload`), the applicability tables
+#: (:mod:`repro.pim.applicability`), and the trace linter
+#: (:mod:`repro.analysis.trace_lint`) all consult it rather than keeping
+#: private copies of the mapping.
+HOST_TO_HMC: dict[AtomicOp, HmcCommand] = {
     AtomicOp.CAS: HmcCommand.CAS_EQUAL,
     AtomicOp.ADD: HmcCommand.ADD_16,
     AtomicOp.SUB: HmcCommand.ADD_16,  # signed add of a negative immediate
@@ -68,9 +73,23 @@ _HOST_TO_HMC: dict[AtomicOp, HmcCommand] = {
 def command_for_atomic(op: AtomicOp) -> HmcCommand:
     """Map a host atomic instruction to its PIM-Atomic command."""
     try:
-        return _HOST_TO_HMC[op]
+        return HOST_TO_HMC[op]
     except KeyError:
         raise ConfigError(f"no HMC command for host atomic {op!r}") from None
+
+
+def offloadable_ops(fp_extension: bool = True) -> frozenset[AtomicOp]:
+    """Host atomics the modeled cube can execute as PIM-Atomic commands.
+
+    With ``fp_extension`` False this is exactly the HMC 2.0 command
+    surface of Table I; with it True the paper's FP add/sub commands are
+    included (Section III-C).
+    """
+    return frozenset(
+        op
+        for op, command in HOST_TO_HMC.items()
+        if command_supported(command, fp_extension)
+    )
 
 
 def command_supported(command: HmcCommand, fp_extension: bool) -> bool:

@@ -7,6 +7,7 @@ path.  :mod:`repro.pim.applicability` reproduces the Table II/III
 workload analyses.
 """
 
+from repro.hmc.commands import HOST_TO_HMC, offloadable_ops
 from repro.pim.offload import OffloadDecision, PimOffloadUnit
 from repro.pim.applicability import (
     ApplicabilityRow,
@@ -17,9 +18,11 @@ from repro.pim.applicability import (
 
 __all__ = [
     "ApplicabilityRow",
+    "HOST_TO_HMC",
     "OffloadDecision",
     "OffloadTargetRow",
     "PimOffloadUnit",
     "applicability_table",
     "offload_target_table",
+    "offloadable_ops",
 ]

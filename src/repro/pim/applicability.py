@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.graph.csr import CsrGraph
-from repro.hmc.commands import command_for_atomic
+from repro.hmc.commands import HOST_TO_HMC
 from repro.workloads.base import Workload
 from repro.workloads.registry import all_workloads
 
@@ -65,7 +65,9 @@ def offload_target_table(
             continue
         if workload.pim_op is None or workload.host_instruction is None:
             continue
-        command = command_for_atomic(workload.pim_op)
+        # Shared AtomicOp -> HMC command table (same one the POU and the
+        # trace linter use), so Table II can never drift from the router.
+        command = HOST_TO_HMC[workload.pim_op]
         rows.append(
             OffloadTargetRow(
                 workload=workload.name,

@@ -14,8 +14,8 @@ from dataclasses import dataclass
 
 from repro.hmc.commands import (
     EXTENSION_COMMANDS,
+    HOST_TO_HMC,
     HmcCommand,
-    command_for_atomic,
 )
 from repro.trace.events import AtomicOp
 
@@ -45,7 +45,13 @@ class PimOffloadUnit:
             return OffloadDecision(
                 offload=False, command=None, reason="address outside PMR"
             )
-        command = command_for_atomic(op)
+        command = HOST_TO_HMC.get(op)
+        if command is None:
+            return OffloadDecision(
+                offload=False,
+                command=None,
+                reason=f"no HMC command maps host atomic {op!r}",
+            )
         if command in EXTENSION_COMMANDS and not self.fp_extension:
             return OffloadDecision(
                 offload=False,

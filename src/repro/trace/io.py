@@ -58,8 +58,14 @@ def _decode_thread(thread_id: int, rows: np.ndarray) -> ThreadTrace:
         if kind == EV_BARRIER:
             events.append((EV_BARRIER, size, gap))
         elif kind == EV_ATOMIC:
+            try:
+                decoded_op: AtomicOp | int = AtomicOp(op)
+            except ValueError:
+                # Preserve the raw value: the trace linter reports
+                # unknown ops (TRC003/PIM001) with their event index.
+                decoded_op = op
             events.append(
-                (EV_ATOMIC, addr, size, gap, AtomicOp(op), bool(ret))
+                (EV_ATOMIC, addr, size, gap, decoded_op, bool(ret))
             )
         elif kind in (EV_LOAD, EV_STORE):
             events.append((kind, addr, size, gap))
@@ -82,8 +88,13 @@ def save_trace(trace: Trace, path: str | os.PathLike) -> None:
     np.savez_compressed(path, **payload)
 
 
-def load_trace(path: str | os.PathLike) -> Trace:
-    """Read a trace previously written by :func:`save_trace`."""
+def load_trace(path: str | os.PathLike, validate: bool = True) -> Trace:
+    """Read a trace previously written by :func:`save_trace`.
+
+    ``validate=False`` skips the fail-fast barrier check so analysis
+    tools (``repro lint``) can load a malformed trace and report *what*
+    is wrong instead of dying on the first inconsistency.
+    """
     with np.load(path, allow_pickle=False) as bundle:
         version = int(bundle["version"][0])
         if version != _FORMAT_VERSION:
@@ -98,5 +109,6 @@ def load_trace(path: str | os.PathLike) -> Trace:
             for tid in thread_ids
         ]
     trace = Trace(threads, name=name)
-    trace.validate_barriers()
+    if validate:
+        trace.validate_barriers()
     return trace

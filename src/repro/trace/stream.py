@@ -104,17 +104,24 @@ class Trace:
         """Total events across all threads."""
         return sum(t.num_events for t in self.threads)
 
+    def barrier_sequences(self) -> list[list[int]]:
+        """Per-thread barrier id sequences, in thread order.
+
+        Shared by :meth:`validate_barriers` and the trace linter's
+        barrier-balance rule.
+        """
+        return [
+            [e[1] for e in thread.events if e[0] == EV_BARRIER]
+            for thread in self.threads
+        ]
+
     def validate_barriers(self) -> None:
         """Check that every thread hits the same barrier sequence.
 
         The paper's workloads are bulk-synchronous; mismatched barrier
         sequences would deadlock the replay, so we fail fast here.
         """
-        sequences = []
-        for thread in self.threads:
-            sequences.append(
-                [e[1] for e in thread.events if e[0] == EV_BARRIER]
-            )
+        sequences = self.barrier_sequences()
         first = sequences[0]
         for thread, seq in zip(self.threads[1:], sequences[1:]):
             if seq != first:

@@ -53,18 +53,28 @@ class _TracedMutableGraph:
     def _unlock(self, trace: ThreadTrace, vertex: int) -> None:
         trace.store(self.locks.addr_of(vertex), 8)
 
+    def _count_edge(self, trace: ThreadTrace) -> None:
+        # The edge counter is shared by all threads and updated outside
+        # any vertex lock, so it must be a fetch-add; a plain
+        # load+store pair here is the lost-update race RACE001 flags.
+        trace.atomic(AtomicOp.ADD, self.edge_counter.addr_of(0), 8, False)
+
+    def alloc_node(self, trace: ThreadTrace) -> int:
+        """Bump-allocate one adjacency node slot and record its store."""
+        node = self._next_node % self.arena.num_elements
+        self._next_node += 1
+        trace.store(self.arena.addr_of(node), self.NODE_BYTES)
+        return node
+
     def insert_edge(self, trace: ThreadTrace, src: int, dst: int) -> None:
         """Locked head insertion of a new adjacency node."""
         trace.work(6)
         self._lock(trace, src)
         trace.load(self.heads.addr_of(src), 8)
-        node = self._next_node % self.arena.num_elements
-        self._next_node += 1
-        trace.store(self.arena.addr_of(node), self.NODE_BYTES)
+        self.alloc_node(trace)
         trace.store(self.heads.addr_of(src), 8)
         self._unlock(trace, src)
-        trace.load(self.edge_counter.addr_of(0), 8)
-        trace.store(self.edge_counter.addr_of(0), 8)
+        self._count_edge(trace)
         self.dyn.add_edge(src, dst)
 
     def delete_edge(self, trace: ThreadTrace, src: int, dst: int) -> bool:
@@ -85,8 +95,7 @@ class _TracedMutableGraph:
         if found:
             trace.store(self.heads.addr_of(src), 8)
             self.dyn.remove_edge(src, dst)
-            trace.load(self.edge_counter.addr_of(0), 8)
-            trace.store(self.edge_counter.addr_of(0), 8)
+            self._count_edge(trace)
         self._unlock(trace, src)
         return found
 
@@ -221,12 +230,10 @@ class TopologyMorphing(Workload):
                     store.arena.addr_of(position % store.arena.num_elements),
                     store.NODE_BYTES,
                 )
-                trace.store(
-                    store.arena.addr_of(
-                        (position + 1) % store.arena.num_elements
-                    ),
-                    store.NODE_BYTES,
-                )
+                # Relinked nodes land in fresh bump-allocated slots:
+                # writing slots [1..deg] here would collide with every
+                # concurrent contraction (RACE001).
+                store.alloc_node(trace)
                 trace.work(3)
             trace.store(store.heads.addr_of(src), 8)
             trace.store(store.heads.addr_of(dst), 8)

@@ -21,11 +21,10 @@ class TestCli:
         assert "GraphPIM" in out
         assert "speedup" in out
 
-    def test_run_unknown_workload(self):
-        from repro.common.errors import ConfigError
-
-        with pytest.raises(ConfigError):
-            main(["run", "NOPE"])
+    def test_run_unknown_workload_exits_nonzero(self, capsys):
+        assert main(["run", "NOPE"]) == 2
+        err = capsys.readouterr().err
+        assert "NOPE" in err
 
     def test_trace_then_simulate(self, tmp_path, capsys):
         trace_file = str(tmp_path / "bfs.npz")
