@@ -7,8 +7,13 @@ the grid and later ones reuse it; ``rounds=1`` keeps pytest-benchmark
 from re-simulating.
 
 Scale is controlled by ``REPRO_SCALE`` (tiny | small | paper); the
-default is ``small``.
+default is ``small``.  Set ``REPRO_JOBS=N`` to warm the whole grid up
+front through the parallel experiment runner (with the persistent
+result cache when ``REPRO_CACHE_DIR`` is also set) instead of paying
+for it serially inside the first benchmark.
 """
+
+import os
 
 import pytest
 
@@ -18,6 +23,33 @@ from repro.core.presets import resolve_scale
 @pytest.fixture(scope="session")
 def scale() -> str:
     return resolve_scale()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _warm_grid(scale):
+    """Pre-run the simulation grid via the runner when REPRO_JOBS is set."""
+    jobs_env = os.environ.get("REPRO_JOBS")
+    if not jobs_env:
+        return
+    from repro.harness import (
+        prime_evaluation_suite,
+        prime_motivation_suite,
+        prime_plain_atomics_suite,
+    )
+    from repro.runner import RunnerConfig, run_full_grid
+
+    config = RunnerConfig(
+        scale=scale,
+        jobs=int(jobs_env),
+        parallel=int(jobs_env) > 1,
+        cache_dir=os.environ.get("REPRO_CACHE_DIR"),
+    )
+    grid, report = run_full_grid(config)
+    prime_evaluation_suite(scale, grid.evaluation)
+    prime_motivation_suite(scale, grid.motivation)
+    prime_plain_atomics_suite(scale, grid.plain)
+    print()
+    print(report.summary())
 
 
 def run_and_render(benchmark, experiment_fn, **kwargs):

@@ -2,21 +2,37 @@
 
 Run with::
 
-    python examples/reproduce_all.py [tiny|small|paper] [experiment ...]
+    python examples/reproduce_all.py [tiny|small|paper] [--jobs N]
+                                     [--no-cache] [experiment ...]
 
 With no experiment arguments, runs the full index from DESIGN.md.
 ``tiny`` finishes in a couple of minutes; ``small`` (default) matches
 the numbers recorded in EXPERIMENTS.md; ``paper`` is the calibration
 scale (slow).
+
+The heavy simulation grid is executed up front through the experiment
+runner (:mod:`repro.runner`): jobs fan out over ``--jobs`` worker
+processes (default: all CPUs) and results persist in ``.repro_cache/``,
+so a re-run of this script performs zero simulations.  Strictness is
+carried explicitly by ``RunnerConfig(strict=True)`` — every trace is
+linted and race-checked before simulation and the run fails fast on
+invariant violations instead of rendering skewed figures.
 """
 
 import sys
 import time
 
 from repro.analysis import check_strict, lint_config
-from repro.harness import EXPERIMENTS, get_experiment, run_experiment
+from repro.harness import (
+    EXPERIMENTS,
+    get_experiment,
+    prime_evaluation_suite,
+    prime_motivation_suite,
+    prime_plain_atomics_suite,
+    run_experiment,
+)
 from repro.harness.charts import bar_chart
-from repro.harness.suite import set_strict
+from repro.runner import RunnerConfig, run_full_grid
 from repro.sim.config import SystemConfig
 
 DEFAULT_ORDER = [
@@ -30,27 +46,56 @@ DEFAULT_ORDER = [
 STATIC = {"tab02", "tab03", "tab05", "tab06"}
 
 
-def main() -> None:
-    args = sys.argv[1:]
+def _parse_args(argv: list) -> tuple:
     scale = "small"
-    if args and args[0] in ("tiny", "small", "paper"):
-        scale = args.pop(0)
+    jobs = None
+    cache = True
+    experiments = []
+    args = list(argv)
+    while args:
+        arg = args.pop(0)
+        if arg in ("tiny", "small", "paper"):
+            scale = arg
+        elif arg == "--jobs":
+            if not args:
+                raise SystemExit("--jobs requires a worker count")
+            jobs = int(args.pop(0))
+        elif arg == "--no-cache":
+            cache = False
+        else:
+            experiments.append(arg)
+    return scale, jobs, cache, experiments
+
+
+def main() -> None:
+    scale, jobs, cache, experiments = _parse_args(sys.argv[1:])
     get_experiment("fig07")  # force registry load
-    experiments = args or DEFAULT_ORDER
+    experiments = experiments or DEFAULT_ORDER
     unknown = [e for e in experiments if e not in EXPERIMENTS]
     if unknown:
         raise SystemExit(f"unknown experiments: {unknown}")
 
-    # Lint pre-flight: validate the three evaluated configurations up
-    # front and lint + race-check every suite trace before it is
-    # simulated, so the run fails fast on invariant violations instead
-    # of rendering skewed figures.
+    # Validate the three evaluated configurations up front, then run the
+    # whole simulation grid through the strict parallel runner and hand
+    # the products to the memoized suites; every experiment below is a
+    # view over this grid.
     for config in SystemConfig().evaluation_trio():
         check_strict(lint_config(config))
-    set_strict(True)
-
+    runner_config = RunnerConfig(
+        scale=scale,
+        strict=True,
+        jobs=jobs,
+        cache_dir=".repro_cache" if cache else None,
+    )
     print(f"Reproducing {len(experiments)} artifacts at scale={scale!r}\n")
     total_start = time.time()
+    grid, runner_report = run_full_grid(runner_config)
+    prime_evaluation_suite(scale, grid.evaluation)
+    prime_motivation_suite(scale, grid.motivation)
+    prime_plain_atomics_suite(scale, grid.plain)
+    print(runner_report.summary())
+    print()
+
     for experiment_id in experiments:
         start = time.time()
         if experiment_id in STATIC:

@@ -52,6 +52,25 @@ run_or_fail python -m repro trace BFS --vertices 400 -o "$trace_file"
 run_or_fail python -m repro lint "$trace_file"
 rm -f "$trace_file"
 
+step "repro run (parallel grid + result cache smoke)"
+cache_dir="$(mktemp -d)/repro_cache"
+run_or_fail python -m repro run --scale tiny --jobs 2 --cache-dir "$cache_dir"
+# The second invocation must be served entirely from the cache.
+if python -m repro run --scale tiny --jobs 2 --cache-dir "$cache_dir" --json \
+    | python -c '
+import json, sys
+report = json.load(sys.stdin)["runner"]
+sims, hits = report["simulations"], report["cache_hits"]
+print(f"second run: {sims} simulation(s), {hits} cache hit(s)")
+sys.exit(0 if report["all_cached"] else 1)
+'; then
+    echo "cache smoke passed (100% cache hits on second run)"
+else
+    echo "cache smoke FAILED: second run re-simulated"
+    failures=$((failures + 1))
+fi
+rm -rf "$cache_dir"
+
 echo
 if [ "$failures" -ne 0 ]; then
     echo "check.sh: $failures step(s) FAILED"

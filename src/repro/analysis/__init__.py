@@ -59,6 +59,44 @@ def check_strict(report: AnalysisReport) -> None:
         )
 
 
+#: (trace digest, config fingerprint) pairs that already passed the
+#: strict pre-flight in this process.  Keyed on content, not identity,
+#: so a trace linted by the suite is not re-linted by
+#: ``GraphPimSystem.evaluate_trace`` (or by a second evaluation of the
+#: same run) — the lint + race pass costs a full trace walk.
+_PREFLIGHT_CLEAN: set[tuple[str, str]] = set()
+
+
+def preflight_run(
+    run, config: SystemConfig | None = None, trace_hash: str | None = None
+) -> str:
+    """Strict pre-flight with content-addressed deduplication.
+
+    Runs :func:`analyze_run` + :func:`check_strict` unless this exact
+    (trace content, lint config) pair already passed in this process.
+    Returns the trace digest so callers can reuse it (e.g. as a result
+    cache key).  Failures are *not* memoized: a failing trace raises
+    every time.
+    """
+    from repro.trace.io import trace_digest
+
+    if trace_hash is None:
+        trace_hash = trace_digest(run.trace)
+    lint_config_obj = config if config is not None else SystemConfig.graphpim()
+    from repro.runner.fingerprint import config_fingerprint
+
+    key = (trace_hash, config_fingerprint(lint_config_obj))
+    if key not in _PREFLIGHT_CLEAN:
+        check_strict(analyze_run(run, config=lint_config_obj))
+        _PREFLIGHT_CLEAN.add(key)
+    return trace_hash
+
+
+def clear_preflight_cache() -> None:
+    """Drop the memoized clean set (tests)."""
+    _PREFLIGHT_CLEAN.clear()
+
+
 __all__ = [
     "AnalysisError",
     "AnalysisReport",
@@ -68,7 +106,9 @@ __all__ = [
     "Severity",
     "analyze_run",
     "check_strict",
+    "clear_preflight_cache",
     "describe_rules",
+    "preflight_run",
     "detect_races",
     "get_rule",
     "lint_config",

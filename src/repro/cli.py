@@ -3,12 +3,22 @@
 ::
 
     python -m repro workloads
+    python -m repro run                  # full Figure-7 grid, cached
+    python -m repro run --jobs 4 --json  # parallel grid, JSON metrics
     python -m repro run BFS --vertices 2000 --threads 16
+    python -m repro cache                # result-cache statistics
+    python -m repro cache --clear
     python -m repro trace DC --vertices 2000 -o dc.npz
     python -m repro simulate dc.npz --mode graphpim
     python -m repro experiment fig07 --scale small
     python -m repro lint dc.npz
     python -m repro lint graphpim
+
+``repro run`` without a workload executes the evaluation grid through
+the experiment runner: jobs fan out over a process pool (``--jobs``,
+``--no-parallel``) and results persist in a content-addressed cache
+(``.repro_cache/``), so a repeated invocation performs zero
+simulations.
 
 Exit codes: 0 on success, 1 when ``lint`` reports ERROR findings, 2 on
 invalid invocations (unknown subcommand/workload, bad input file) — so
@@ -18,6 +28,7 @@ CI can gate on any of them.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -47,12 +58,71 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("workloads", help="list the GraphBIG workloads")
 
     run = sub.add_parser(
-        "run", help="trace a workload and simulate all three systems"
+        "run",
+        help="run one workload, or (with no workload) the cached "
+        "parallel evaluation grid",
     )
-    run.add_argument("workload", help="workload code, e.g. BFS")
+    run.add_argument(
+        "workload",
+        nargs="?",
+        help="workload code, e.g. BFS; omit to run the Figure-7 grid "
+        "through the experiment runner",
+    )
     run.add_argument("--vertices", type=int, default=2_000)
     run.add_argument("--threads", type=int, default=16)
     run.add_argument("--seed", type=int, default=7)
+    run.add_argument(
+        "--scale",
+        choices=("tiny", "small", "paper"),
+        default=None,
+        help="grid mode: experiment scale (default: REPRO_SCALE or small)",
+    )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="grid mode: worker processes (default: all CPUs)",
+    )
+    run.add_argument(
+        "--no-parallel",
+        action="store_true",
+        help="grid mode: run every job in-process",
+    )
+    run.add_argument(
+        "--strict",
+        action="store_true",
+        help="grid mode: static-analysis pre-flight on every trace",
+    )
+    run.add_argument(
+        "--cache-dir",
+        default=None,
+        help="grid mode: result-cache root (default: .repro_cache)",
+    )
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="grid mode: disable the persistent result cache",
+    )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="grid mode: machine-readable runner report + metrics",
+    )
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent result cache"
+    )
+    cache.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache root (default: .repro_cache)",
+    )
+    cache.add_argument(
+        "--clear", action="store_true", help="delete every cached result"
+    )
+    cache.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
 
     trace = sub.add_parser("trace", help="trace a workload to a .npz file")
     trace.add_argument("workload")
@@ -138,6 +208,8 @@ def _make_graph(args):
 
 
 def _cmd_run(args) -> int:
+    if args.workload is None:
+        return _cmd_run_grid(args)
     get_workload(args.workload)  # fail fast on unknown codes
     graph = _make_graph(args)
     system = GraphPimSystem(num_threads=args.threads)
@@ -145,6 +217,90 @@ def _cmd_run(args) -> int:
         args.workload, graph, **workload_params(args.workload)
     )
     print(report.summary())
+    return 0
+
+
+def _resolve_cache_dir(args) -> str | None:
+    from repro.runner import DEFAULT_CACHE_DIR
+
+    if getattr(args, "no_cache", False):
+        return None
+    if args.cache_dir is not None:
+        return args.cache_dir
+    return os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+
+
+def _cmd_run_grid(args) -> int:
+    """Evaluation grid through the parallel, cached experiment runner."""
+    from repro.runner import RunnerConfig, run_evaluation_grid
+
+    config = RunnerConfig(
+        scale=args.scale,
+        strict=args.strict,
+        jobs=args.jobs,
+        parallel=not args.no_parallel,
+        cache_dir=_resolve_cache_dir(args),
+    )
+
+    def progress(record) -> None:
+        print(
+            f"  {record.job_id:16s} {record.status:6s} "
+            f"sim={record.modes_simulated} hit={record.modes_cached} "
+            f"{record.wall_seconds:6.2f}s",
+            flush=True,
+        )
+
+    reports, runner_report = run_evaluation_grid(
+        config, progress=None if args.json else progress
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "runner": runner_report.to_dict(),
+                    "workloads": {
+                        code: report.to_dict()
+                        for code, report in reports.items()
+                    },
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print()
+    print(runner_report.summary().splitlines()[0])
+    print()
+    print(f"{'workload':10s} {'baseline':>14s} {'graphpim':>14s} {'speedup':>8s}")
+    for code, report in reports.items():
+        graphpim = report.results["GraphPIM"]
+        print(
+            f"{code:10s} {report.baseline.cycles:14.0f} "
+            f"{graphpim.cycles:14.0f} {report.speedup():7.2f}x"
+        )
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.runner import ResultCache
+
+    cache_dir = args.cache_dir or os.environ.get(
+        "REPRO_CACHE_DIR", ".repro_cache"
+    )
+    cache = ResultCache(cache_dir)
+    if args.clear:
+        removed = cache.clear()
+        if args.json:
+            print(json.dumps({"cleared": removed, **cache.info()}))
+        else:
+            print(f"cleared {removed} cached result(s) from {cache_dir}")
+        return 0
+    info = cache.info()
+    if args.json:
+        print(json.dumps(info, indent=2))
+    else:
+        print(f"cache root : {info['root']}")
+        print(f"entries    : {info['entries']}")
+        print(f"size       : {info['size_bytes'] / 1024:.1f} KiB")
     return 0
 
 
@@ -227,6 +383,7 @@ def _cmd_lint(args) -> int:
 _COMMANDS = {
     "workloads": _cmd_workloads,
     "run": _cmd_run,
+    "cache": _cmd_cache,
     "trace": _cmd_trace,
     "simulate": _cmd_simulate,
     "experiment": _cmd_experiment,

@@ -29,6 +29,16 @@ class GraphError(ReproError):
     """A graph structure was malformed or an operation was invalid."""
 
 
+class RunnerError(ReproError):
+    """The experiment runner could not execute or collect a job grid.
+
+    Raised when jobs fail with real errors (as opposed to worker-pool
+    breakage, which the runner transparently retries in-process) or when
+    the result cache contains an unreadable entry that cannot be
+    regenerated.
+    """
+
+
 class AnalysisError(ReproError):
     """Static analysis found ERROR-severity invariant violations.
 

@@ -9,20 +9,27 @@ with the paper's headline metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
+from repro.common.errors import SimulationError
 from repro.graph.csr import CsrGraph
 from repro.sim.config import SystemConfig
-from repro.sim.system import SimResult, simulate
+from repro.sim.system import RESULT_SCHEMA_VERSION, SimResult, simulate
 from repro.workloads.base import WorkloadRun
 from repro.workloads.registry import get_workload
 
 
 @dataclass
 class EvaluationReport:
-    """Results of evaluating one workload across system modes."""
+    """Results of evaluating one workload across system modes.
+
+    ``run`` is ``None`` for reports rehydrated from serialized payloads
+    (:meth:`from_dict`): traces are not part of the stable schema, only
+    their summary statistics are.
+    """
 
     workload_code: str
-    run: WorkloadRun
+    run: Optional[WorkloadRun] = None
     results: dict[str, SimResult] = field(default_factory=dict)
 
     @property
@@ -40,12 +47,16 @@ class EvaluationReport:
 
     def summary(self) -> str:
         """Human-readable one-paragraph summary."""
-        lines = [
-            f"workload {self.workload_code}: "
-            f"{self.run.trace.num_events} trace events, "
-            f"{self.run.stats.atomics} atomics "
-            f"({self.run.stats.property_atomics} PIM candidates)"
-        ]
+        if self.run is not None:
+            header = (
+                f"workload {self.workload_code}: "
+                f"{self.run.trace.num_events} trace events, "
+                f"{self.run.stats.atomics} atomics "
+                f"({self.run.stats.property_atomics} PIM candidates)"
+            )
+        else:
+            header = f"workload {self.workload_code}"
+        lines = [header]
         base = self.baseline
         lines.append(
             f"  Baseline : {base.cycles:12.0f} cycles  ipc/core="
@@ -59,6 +70,55 @@ class EvaluationReport:
                 f"speedup={result.speedup_over(base):.2f}x"
             )
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Serialization (`repro run --json`, runner worker IPC)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Stable JSON-safe payload; round-trips via :meth:`from_dict`.
+
+        The full trace is not serialized (that is :mod:`repro.trace.io`'s
+        job); only its summary statistics travel with the report.
+        """
+        if self.run is not None:
+            trace_summary = {
+                "num_events": self.run.trace.num_events,
+                "num_threads": self.run.trace.num_threads,
+                "atomics": self.run.stats.atomics,
+                "property_atomics": self.run.stats.property_atomics,
+            }
+        else:
+            trace_summary = None
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "workload_code": self.workload_code,
+            "trace": trace_summary,
+            "results": {
+                label: result.to_dict()
+                for label, result in self.results.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: dict, run: Optional[WorkloadRun] = None
+    ) -> "EvaluationReport":
+        """Rebuild a report; pass ``run`` to re-attach a live trace."""
+        schema = data.get("schema")
+        if schema != RESULT_SCHEMA_VERSION:
+            raise SimulationError(
+                f"unsupported EvaluationReport schema {schema!r} "
+                f"(expected {RESULT_SCHEMA_VERSION})"
+            )
+        return cls(
+            workload_code=data["workload_code"],
+            run=run,
+            results={
+                label: SimResult.from_dict(payload)
+                for label, payload in data["results"].items()
+            },
+        )
 
 
 class GraphPimSystem:
@@ -120,7 +180,7 @@ class GraphPimSystem:
     ) -> EvaluationReport:
         """Phase 2 only: simulate an existing trace under every mode."""
         configs = modes or self.config.evaluation_trio()
-        if self.strict if strict is None else strict:
+        if self._resolve_strict(strict):
             self._preflight(run, configs)
         report = EvaluationReport(
             workload_code=run.workload.code, run=run
@@ -129,11 +189,23 @@ class GraphPimSystem:
             report.results[config.display_name] = simulate(run.trace, config)
         return report
 
+    def _resolve_strict(self, strict: bool | None) -> bool:
+        """Per-call ``strict`` override falls back to the instance flag."""
+        if strict is None:
+            return self.strict
+        return strict
+
     def _preflight(
         self, run: WorkloadRun, configs: list[SystemConfig]
     ) -> None:
-        """Strict-mode static analysis; raises AnalysisError on ERRORs."""
-        from repro.analysis import analyze_run, check_strict, lint_config
+        """Strict-mode static analysis; raises AnalysisError on ERRORs.
+
+        The trace lint + race pass is content-deduplicated
+        (:func:`repro.analysis.preflight_run`): a trace the suite or a
+        previous evaluation already checked against the same lint config
+        is not walked again.
+        """
+        from repro.analysis import check_strict, lint_config, preflight_run
         from repro.sim.config import Mode
 
         for config in configs:
@@ -143,4 +215,4 @@ class GraphPimSystem:
         lint_cfg = next(
             (c for c in configs if c.mode is Mode.GRAPHPIM), self.config
         )
-        check_strict(analyze_run(run, config=lint_cfg))
+        preflight_run(run, config=lint_cfg)

@@ -8,6 +8,7 @@ host.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -48,6 +49,13 @@ class DdrConfig:
             / (self.core_ghz * 1e9)
         )
 
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DdrConfig":
+        return cls(**data)
+
 
 @dataclass
 class DdrStats:
@@ -57,6 +65,13 @@ class DdrStats:
     writes: int = 0
     bus_wait_cycles: float = 0.0
     bank_wait_cycles: float = 0.0
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DdrStats":
+        return cls(**data)
 
 
 class DdrDevice:

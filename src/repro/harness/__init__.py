@@ -14,13 +14,26 @@ from repro.harness.registry import (
     get_experiment,
     run_experiment,
 )
-from repro.harness.suite import evaluation_suite, motivation_suite
+from repro.harness.suite import (
+    default_runner,
+    evaluation_suite,
+    motivation_suite,
+    plain_atomics_suite,
+    prime_evaluation_suite,
+    prime_motivation_suite,
+    prime_plain_atomics_suite,
+)
 
 __all__ = [
     "EXPERIMENTS",
     "ExperimentResult",
+    "default_runner",
     "evaluation_suite",
     "get_experiment",
     "motivation_suite",
+    "plain_atomics_suite",
+    "prime_evaluation_suite",
+    "prime_motivation_suite",
+    "prime_plain_atomics_suite",
     "run_experiment",
 ]

@@ -1,22 +1,43 @@
-"""Shared, memoized simulation suites.
+"""Shared, memoized simulation suites over the experiment runner.
 
 Most of the paper's evaluation figures (7, 9, 10, 12, 15, 16) are
 different views of the same runs: the eight Figure 7 workloads under
-Baseline / U-PEI / GraphPIM.  :func:`evaluation_suite` runs that grid
-once per scale and caches it for the lifetime of the process, so the
-benchmark files can each render their artifact without re-simulating.
+Baseline / U-PEI / GraphPIM.  :func:`evaluation_suite` obtains that
+grid from :mod:`repro.runner` — which adds process-pool fan-out and a
+persistent result cache — and memoizes it for the lifetime of the
+process, so the benchmark files can each render their artifact without
+re-simulating.
+
+Execution policy (strictness, parallelism, cache placement) is carried
+by an explicit :class:`~repro.runner.RunnerConfig` argument.  The old
+module-global toggle (:func:`set_strict` / :func:`strict_enabled`) is
+deprecated; orchestrators that want a pre-warmed grid (CLI ``repro
+run``, ``examples/reproduce_all.py``, the benchmark session fixture)
+run the grid themselves and hand the products to the ``prime_*``
+functions.
 """
 
 from __future__ import annotations
 
-from repro.core.api import EvaluationReport, GraphPimSystem
+import os
+import warnings
+from typing import Optional
+
+from repro.core.api import EvaluationReport
 from repro.core.presets import (
     resolve_scale,
     workload_graph,
     workload_params,
 )
+from repro.runner.engine import (
+    ExperimentRunner,
+    motivation_extra_specs,
+    plain_atomics_specs,
+    run_evaluation_grid,
+)
+from repro.runner.spec import RunnerConfig
 from repro.sim.config import SystemConfig
-from repro.sim.system import SimResult, simulate
+from repro.sim.system import SimResult
 from repro.workloads.base import WorkloadRun
 from repro.workloads.registry import FIGURE7_CODES, all_workloads, get_workload
 
@@ -24,61 +45,110 @@ _EVAL_CACHE: dict[str, dict[str, EvaluationReport]] = {}
 _MOTIVATION_CACHE: dict[str, dict[str, tuple[WorkloadRun, SimResult]]] = {}
 _PLAIN_CACHE: dict[str, dict[str, SimResult]] = {}
 
-#: When True, every suite trace goes through the static-analysis
-#: pre-flight (lint + race detection) before it is simulated, and
-#: ERROR findings abort the run (:class:`AnalysisError`).  Enabled by
-#: ``examples/reproduce_all.py`` so a full reproduction fails fast on
-#: invariant violations instead of rendering skewed figures.
-_STRICT = False
+#: Deprecated ambient strictness, kept so the :func:`set_strict` shim
+#: still has an effect until external callers migrate to
+#: ``RunnerConfig(strict=...)`` / ``trace_workload(..., strict=True)``.
+_DEPRECATED_STRICT = False
+
+
+def default_runner(scale: str | None = None) -> RunnerConfig:
+    """The library-default execution policy for suite calls.
+
+    Conservative on purpose: in-process execution and no disk cache,
+    i.e. exactly the old behavior — tests and ad-hoc imports get no
+    surprise subprocesses or cache directories.  Setting
+    ``REPRO_CACHE_DIR`` opts suite calls into the persistent cache, and
+    ``REPRO_JOBS`` into parallel execution; orchestrators that want
+    full control pass an explicit :class:`RunnerConfig` instead.
+    """
+    jobs_env = os.environ.get("REPRO_JOBS")
+    cache_env = os.environ.get("REPRO_CACHE_DIR")
+    return RunnerConfig(
+        scale=resolve_scale(scale),
+        strict=_DEPRECATED_STRICT,
+        jobs=int(jobs_env) if jobs_env else None,
+        parallel=bool(jobs_env and int(jobs_env) > 1),
+        cache_dir=cache_env if cache_env else None,
+    )
 
 
 def set_strict(strict: bool) -> bool:
-    """Toggle the suite-wide lint pre-flight; returns the old value."""
-    global _STRICT
-    previous = _STRICT
-    _STRICT = bool(strict)
+    """Deprecated: use ``RunnerConfig(strict=...)`` or the ``strict``
+    parameter of :func:`trace_workload` instead.
+
+    Toggles the ambient fallback strictness; returns the old value.
+    """
+    warnings.warn(
+        "harness.suite.set_strict is deprecated; pass "
+        "RunnerConfig(strict=...) to the suite functions or "
+        "strict=True to trace_workload",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    global _DEPRECATED_STRICT
+    previous = _DEPRECATED_STRICT
+    _DEPRECATED_STRICT = bool(strict)
     return previous
 
 
 def strict_enabled() -> bool:
-    """Whether the suite-wide lint pre-flight is active."""
-    return _STRICT
+    """Deprecated: whether the ambient fallback strictness is active."""
+    warnings.warn(
+        "harness.suite.strict_enabled is deprecated; strictness is "
+        "carried explicitly by RunnerConfig",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _DEPRECATED_STRICT
 
 
-def trace_workload(code: str, scale: str | None = None) -> WorkloadRun:
+def trace_workload(
+    code: str,
+    scale: str | None = None,
+    strict: bool | None = None,
+) -> WorkloadRun:
     """Trace one workload on its bench graph at the given scale.
 
-    With :func:`set_strict` active the captured trace is linted and
-    race-checked before it is returned to any simulation.
+    With ``strict=True`` the captured trace is linted and race-checked
+    before it is returned to any simulation (content-deduplicated: a
+    trace that already passed is not re-walked).  ``strict=None``
+    falls back to the deprecated :func:`set_strict` ambient toggle.
     """
     scale = resolve_scale(scale)
     graph = workload_graph(code, scale)
     workload = get_workload(code)
     run = workload.run(graph, num_threads=16, **workload_params(code))
-    if _STRICT:
-        from repro.analysis import analyze_run, check_strict
+    if _DEPRECATED_STRICT if strict is None else strict:
+        from repro.analysis import preflight_run
 
-        check_strict(analyze_run(run, config=SystemConfig.graphpim()))
+        preflight_run(run, config=SystemConfig.graphpim())
     return run
 
 
 def evaluation_suite(
     scale: str | None = None,
+    runner: Optional[RunnerConfig] = None,
 ) -> dict[str, EvaluationReport]:
-    """Figure 7 workloads under the three system modes, memoized."""
+    """Figure 7 workloads under the three system modes, memoized.
+
+    ``runner`` controls execution (parallelism, strictness, result
+    cache); by default :func:`default_runner` applies.  The memo is
+    keyed by scale only — the grid's *results* do not depend on the
+    execution policy.
+    """
     scale = resolve_scale(scale)
     if scale not in _EVAL_CACHE:
-        system = GraphPimSystem(SystemConfig())
-        suite = {}
-        for code in FIGURE7_CODES:
-            run = trace_workload(code, scale)
-            suite[code] = system.evaluate_trace(run)
-        _EVAL_CACHE[scale] = suite
+        config = runner or default_runner(scale)
+        reports, _report = run_evaluation_grid(
+            _with_scale(config, scale)
+        )
+        _EVAL_CACHE[scale] = reports
     return _EVAL_CACHE[scale]
 
 
 def motivation_suite(
     scale: str | None = None,
+    runner: Optional[RunnerConfig] = None,
 ) -> dict[str, tuple[WorkloadRun, SimResult]]:
     """All 13 workloads under the baseline only (Figures 1 and 2).
 
@@ -86,44 +156,78 @@ def motivation_suite(
     """
     scale = resolve_scale(scale)
     if scale not in _MOTIVATION_CACHE:
-        suite = evaluation_suite(scale)
+        config = runner or default_runner(scale)
+        suite = evaluation_suite(scale, config)
         results: dict[str, tuple[WorkloadRun, SimResult]] = {}
-        baseline_config = SystemConfig.baseline()
+        outcomes, _report = ExperimentRunner(
+            _with_scale(config, scale)
+        ).run(motivation_extra_specs(scale))
+        extras = {
+            outcome.spec.workload: (
+                outcome.run,
+                outcome.results["Baseline"],
+            )
+            for outcome in outcomes
+        }
         for workload in all_workloads():
             code = workload.code
             if code in suite:
                 report = suite[code]
                 results[code] = (report.run, report.baseline)
             else:
-                run = trace_workload(code, scale)
-                results[code] = (run, simulate(run.trace, baseline_config))
+                results[code] = extras[code]
         _MOTIVATION_CACHE[scale] = results
     return _MOTIVATION_CACHE[scale]
 
 
-def plain_atomics_suite(scale: str | None = None) -> dict[str, SimResult]:
+def plain_atomics_suite(
+    scale: str | None = None,
+    runner: Optional[RunnerConfig] = None,
+) -> dict[str, SimResult]:
     """Figure 4's "without atomics" runs: atomics recorded as load+store.
 
-    Deliberately exempt from the strict pre-flight: recording shared
-    atomics as plain load+store pairs is *exactly* the data race the
-    detector exists to flag — that is the point of the micro-benchmark.
+    Deliberately exempt from the strict pre-flight (the specs carry
+    ``strict_exempt``): recording shared atomics as plain load+store
+    pairs is *exactly* the data race the detector exists to flag — that
+    is the point of the micro-benchmark.
     """
     scale = resolve_scale(scale)
     if scale not in _PLAIN_CACHE:
-        baseline_config = SystemConfig.baseline()
-        results = {}
-        for code in FIGURE7_CODES:
-            graph = workload_graph(code, scale)
-            workload = get_workload(code)
-            run = workload.run(
-                graph,
-                num_threads=16,
-                plain_atomics=True,
-                **workload_params(code),
-            )
-            results[code] = simulate(run.trace, baseline_config)
-        _PLAIN_CACHE[scale] = results
+        config = runner or default_runner(scale)
+        outcomes, _report = ExperimentRunner(
+            _with_scale(config, scale)
+        ).run(plain_atomics_specs(scale))
+        _PLAIN_CACHE[scale] = {
+            outcome.spec.workload: outcome.results["Baseline"]
+            for outcome in outcomes
+        }
     return _PLAIN_CACHE[scale]
+
+
+# ----------------------------------------------------------------------
+# Priming: orchestrators hand over grids they already ran
+# ----------------------------------------------------------------------
+
+
+def prime_evaluation_suite(
+    scale: str, reports: dict[str, EvaluationReport]
+) -> None:
+    """Seed the evaluation memo with runner-produced reports."""
+    _EVAL_CACHE[resolve_scale(scale)] = dict(reports)
+
+
+def prime_motivation_suite(
+    scale: str, results: dict[str, tuple[WorkloadRun, SimResult]]
+) -> None:
+    """Seed the motivation memo with runner-produced (run, result)s."""
+    _MOTIVATION_CACHE[resolve_scale(scale)] = dict(results)
+
+
+def prime_plain_atomics_suite(
+    scale: str, results: dict[str, SimResult]
+) -> None:
+    """Seed the plain-atomics memo with runner-produced results."""
+    _PLAIN_CACHE[resolve_scale(scale)] = dict(results)
 
 
 def clear_caches() -> None:
@@ -131,3 +235,12 @@ def clear_caches() -> None:
     _EVAL_CACHE.clear()
     _MOTIVATION_CACHE.clear()
     _PLAIN_CACHE.clear()
+
+
+def _with_scale(config: RunnerConfig, scale: str) -> RunnerConfig:
+    """Pin the runner config to the suite's resolved scale."""
+    if config.scale == scale:
+        return config
+    from dataclasses import replace
+
+    return replace(config, scale=scale)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.common.errors import ConfigError
@@ -59,6 +60,14 @@ class HmcConfig:
             raise ConfigError("each vault needs at least one FU")
         if self.fp_fus_per_vault < 0:
             raise ConfigError("fp_fus_per_vault must be >= 0")
+
+    def to_dict(self) -> dict:
+        """Flat scalar mapping (all fields are numbers/bools)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HmcConfig":
+        return cls(**data)
 
     # ------------------------------------------------------------------
     # Derived cycle quantities

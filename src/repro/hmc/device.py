@@ -57,6 +57,45 @@ class HmcStats:
     def total_flits(self) -> int:
         return self.total_request_flits + self.total_response_flits
 
+    def to_dict(self) -> dict:
+        """JSON-safe mapping; Counter keys become TransactionKind names."""
+        return {
+            "requests": {k.name: v for k, v in self.requests.items()},
+            "request_flits": {
+                k.name: v for k, v in self.request_flits.items()
+            },
+            "response_flits": {
+                k.name: v for k, v in self.response_flits.items()
+            },
+            "dram_activates": self.dram_activates,
+            "dram_reads": self.dram_reads,
+            "dram_writes": self.dram_writes,
+            "fu_int_ops": self.fu_int_ops,
+            "fu_fp_ops": self.fu_fp_ops,
+            "bank_wait_cycles": self.bank_wait_cycles,
+            "link_wait_cycles": self.link_wait_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HmcStats":
+        def counter(mapping: dict) -> Counter:
+            return Counter(
+                {TransactionKind[name]: count for name, count in mapping.items()}
+            )
+
+        return cls(
+            requests=counter(data["requests"]),
+            request_flits=counter(data["request_flits"]),
+            response_flits=counter(data["response_flits"]),
+            dram_activates=data["dram_activates"],
+            dram_reads=data["dram_reads"],
+            dram_writes=data["dram_writes"],
+            fu_int_ops=data["fu_int_ops"],
+            fu_fp_ops=data["fu_fp_ops"],
+            bank_wait_cycles=data["bank_wait_cycles"],
+            link_wait_cycles=data["link_wait_cycles"],
+        )
+
 
 class _LinkLane:
     """Token-bucket model of one link direction's aggregate bandwidth.

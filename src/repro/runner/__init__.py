@@ -1,0 +1,68 @@
+"""Parallel experiment runner with a persistent result cache.
+
+Turns the harness's implicit (workload, scale, mode) grid into explicit
+:class:`ExperimentSpec` jobs, fans them out across a process pool, and
+backs every simulation with a content-addressed on-disk cache
+(``.repro_cache/`` by default) keyed by trace hash + config fingerprint
++ code-version salt — a repeated grid performs zero simulations.
+
+Strictness, scale, parallelism, and cache placement travel on
+:class:`RunnerConfig` values instead of module globals; the old
+``harness.suite.set_strict`` API is deprecated in favor of this.
+
+Entry points:
+
+- :func:`run_evaluation_grid` / :func:`run_full_grid` — the paper's
+  standard grids (CLI ``repro run``, ``examples/reproduce_all.py``).
+- :class:`ExperimentRunner` — execute an arbitrary spec list.
+- :class:`ResultCache` — cache inspection/maintenance (``repro cache``).
+"""
+
+from repro.runner.cache import CACHE_LAYOUT_VERSION, ResultCache
+from repro.runner.engine import (
+    ExperimentRunner,
+    GridResults,
+    SpecOutcome,
+    evaluation_grid_specs,
+    execute_spec,
+    motivation_extra_specs,
+    plain_atomics_specs,
+    run_evaluation_grid,
+    run_full_grid,
+)
+from repro.runner.fingerprint import (
+    CODE_VERSION,
+    config_fingerprint,
+    result_key,
+    trace_digest,
+)
+from repro.runner.spec import (
+    DEFAULT_CACHE_DIR,
+    ExperimentSpec,
+    JobRecord,
+    RunnerConfig,
+    RunnerReport,
+)
+
+__all__ = [
+    "CACHE_LAYOUT_VERSION",
+    "CODE_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "GridResults",
+    "JobRecord",
+    "ResultCache",
+    "RunnerConfig",
+    "RunnerReport",
+    "SpecOutcome",
+    "config_fingerprint",
+    "evaluation_grid_specs",
+    "execute_spec",
+    "motivation_extra_specs",
+    "plain_atomics_specs",
+    "result_key",
+    "run_evaluation_grid",
+    "run_full_grid",
+    "trace_digest",
+]

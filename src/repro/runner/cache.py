@@ -1,0 +1,122 @@
+"""Persistent, content-addressed result cache.
+
+Layout under the cache root (default ``.repro_cache/``)::
+
+    .repro_cache/
+        objects/<sha256>.json     one SimResult payload per key
+        VERSION                   cache layout version marker
+
+Keys are computed by :mod:`repro.runner.fingerprint` from the trace
+digest, the config fingerprint, and the code-version salt, so a key can
+never refer to two different results — writes need no locking beyond
+atomic rename, and concurrent runner workers sharing a cache directory
+are safe.  Corrupt or unreadable entries are treated as misses and
+overwritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+#: Bumped when the on-disk layout (not the payload schema) changes.
+CACHE_LAYOUT_VERSION = 1
+
+
+class ResultCache:
+    """A directory of JSON payloads addressed by content hash."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self._objects = self.root / "objects"
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Object access
+    # ------------------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self._objects / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """Payload for ``key``, or None on miss/corruption."""
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Atomically store ``payload`` under ``key``.
+
+        Writes to a temp file in the same directory and renames into
+        place, so readers (including concurrent workers) never observe
+        a partial object.
+        """
+        self._objects.mkdir(parents=True, exist_ok=True)
+        version_marker = self.root / "VERSION"
+        if not version_marker.exists():
+            version_marker.write_text(f"{CACHE_LAYOUT_VERSION}\n")
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self._objects, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_path, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    # ------------------------------------------------------------------
+    # Maintenance (`repro cache`)
+    # ------------------------------------------------------------------
+
+    def entry_count(self) -> int:
+        """Number of cached objects."""
+        if not self._objects.is_dir():
+            return 0
+        return sum(1 for p in self._objects.glob("*.json"))
+
+    def size_bytes(self) -> int:
+        """Total bytes of cached objects."""
+        if not self._objects.is_dir():
+            return 0
+        return sum(p.stat().st_size for p in self._objects.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached object; returns how many were removed."""
+        removed = 0
+        if self._objects.is_dir():
+            for path in self._objects.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def info(self) -> dict:
+        """Summary mapping for `repro cache --json`."""
+        return {
+            "root": str(self.root),
+            "entries": self.entry_count(),
+            "size_bytes": self.size_bytes(),
+            "layout_version": CACHE_LAYOUT_VERSION,
+        }
+
+    def __repr__(self) -> str:
+        return f"ResultCache(root={str(self.root)!r})"

@@ -1,0 +1,409 @@
+"""Experiment-execution engine: job fan-out, caching, fallback.
+
+One :class:`ExperimentSpec` is executed by :func:`execute_spec` —
+trace the workload once, then for each mode either load the simulation
+result from the content-addressed cache or simulate and store it.  The
+function is a plain picklable top-level callable, so the same code runs
+in-process (``parallel=False``) and inside ``ProcessPoolExecutor``
+workers; results are bit-identical either way because each job is
+internally deterministic and jobs share nothing.
+
+Worker IPC uses the stable ``SimResult.to_dict()`` payloads (the same
+representation the disk cache stores); the traced
+:class:`~repro.workloads.base.WorkloadRun` rides along by pickle so
+downstream experiments can re-simulate the trace under swept configs.
+
+If the worker pool breaks (a worker segfaults or is OOM-killed), the
+engine transparently re-runs the affected jobs in-process and flags the
+fallback in the :class:`RunnerReport` instead of failing the grid.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import repro.workloads  # noqa: F401  (registry side effects for workers)
+from repro.common.errors import ReproError, RunnerError
+from repro.core.api import EvaluationReport
+from repro.core.presets import workload_graph, workload_params
+from repro.runner.cache import ResultCache
+from repro.runner.fingerprint import config_fingerprint, result_key
+from repro.runner.spec import (
+    ExperimentSpec,
+    JobRecord,
+    RunnerConfig,
+    RunnerReport,
+)
+from repro.sim.config import Mode, SystemConfig
+from repro.sim.system import SimResult
+from repro.trace.io import trace_digest
+from repro.workloads.base import WorkloadRun
+from repro.workloads.registry import (
+    FIGURE7_CODES,
+    all_workloads,
+    get_workload,
+)
+
+ProgressFn = Callable[[JobRecord], None]
+
+
+@dataclass
+class SpecOutcome:
+    """Everything one executed spec produced, rehydrated parent-side."""
+
+    spec: ExperimentSpec
+    run: WorkloadRun
+    trace_hash: str
+    results: dict[str, SimResult] = field(default_factory=dict)
+    cached: dict[str, bool] = field(default_factory=dict)
+
+    def report(self) -> EvaluationReport:
+        """View as the facade's per-workload report type."""
+        return EvaluationReport(
+            workload_code=self.spec.workload,
+            run=self.run,
+            results=dict(self.results),
+        )
+
+
+def execute_spec(spec: ExperimentSpec, config: RunnerConfig) -> dict:
+    """Run one job; returns a picklable payload (worker entry point).
+
+    Payload layout::
+
+        {"run": WorkloadRun, "trace_hash": str, "seconds": float,
+         "modes": {label: {"payload": SimResult.to_dict(), "cached": bool}}}
+    """
+    from repro.sim.system import simulate  # local: keeps fork cost low
+
+    started = time.perf_counter()
+    graph = workload_graph(spec.workload, spec.scale)
+    workload = get_workload(spec.workload)
+    run = workload.run(
+        graph,
+        num_threads=spec.num_threads,
+        plain_atomics=spec.plain_atomics,
+        **spec.params_dict(),
+    )
+    trace_hash = trace_digest(run.trace)
+    if config.strict and not spec.strict_exempt:
+        from repro.analysis import preflight_run
+
+        lint_cfg = next(
+            (c for c in spec.modes if c.mode is Mode.GRAPHPIM),
+            SystemConfig.graphpim(),
+        )
+        preflight_run(run, config=lint_cfg, trace_hash=trace_hash)
+    cache = (
+        ResultCache(config.cache_dir) if config.cache_dir is not None else None
+    )
+    modes: dict[str, dict] = {}
+    for mode_config in spec.modes:
+        key = result_key(
+            trace_hash, config_fingerprint(mode_config), config.cache_salt
+        )
+        payload = cache.get(key) if cache is not None else None
+        if payload is not None:
+            try:  # schema sanity: stale layouts are regenerated
+                SimResult.from_dict(payload)
+            except ReproError:
+                payload = None
+        if payload is None:
+            payload = simulate(run.trace, mode_config).to_dict()
+            if cache is not None:
+                cache.put(key, payload)
+            cached = False
+        else:
+            cached = True
+        modes[mode_config.display_name] = {
+            "payload": payload,
+            "cached": cached,
+        }
+    return {
+        "run": run,
+        "trace_hash": trace_hash,
+        "modes": modes,
+        "seconds": time.perf_counter() - started,
+    }
+
+
+def _make_executor(max_workers: int) -> ProcessPoolExecutor:
+    """Pool construction hook (tests substitute a broken pool here)."""
+    return ProcessPoolExecutor(max_workers=max_workers)
+
+
+class ExperimentRunner:
+    """Executes a grid of specs under one :class:`RunnerConfig`."""
+
+    def __init__(self, config: Optional[RunnerConfig] = None):
+        self.config = config or RunnerConfig()
+
+    def run(
+        self,
+        specs: "list[ExperimentSpec]",
+        progress: Optional[ProgressFn] = None,
+    ) -> "tuple[list[SpecOutcome], RunnerReport]":
+        """Execute every spec; outcomes are returned in spec order.
+
+        Raises :class:`RunnerError` after the grid drains if any job
+        failed with a real error (pool breakage alone is not a failure —
+        affected jobs are re-run in-process).
+        """
+        started = time.perf_counter()
+        records = [
+            JobRecord(
+                job_id=spec.job_id,
+                workload=spec.workload,
+                scale=spec.scale,
+                modes_total=len(spec.modes),
+            )
+            for spec in specs
+        ]
+        use_pool = (
+            self.config.parallel
+            and len(specs) > 1
+            and self.config.resolved_jobs() > 1
+        )
+        report = RunnerReport(
+            jobs=records,
+            parallel=use_pool,
+            worker_count=self.config.resolved_jobs() if use_pool else 1,
+        )
+        outcomes: list[Optional[SpecOutcome]] = [None] * len(specs)
+        if use_pool:
+            retry = self._run_pool(specs, records, outcomes, progress)
+            if retry:
+                report.fell_back = True
+                for index in retry:
+                    self._run_inline(
+                        specs, records, outcomes, index, progress,
+                        executor="fallback",
+                    )
+        else:
+            for index in range(len(specs)):
+                self._run_inline(
+                    specs, records, outcomes, index, progress,
+                    executor="inline",
+                )
+        report.wall_seconds = time.perf_counter() - started
+        failed = [record for record in records if record.status == "failed"]
+        if failed:
+            details = "; ".join(
+                f"{record.job_id}: {record.error}" for record in failed
+            )
+            raise RunnerError(
+                f"{len(failed)} of {len(specs)} job(s) failed — {details}"
+            )
+        return [outcome for outcome in outcomes if outcome is not None], report
+
+    # ------------------------------------------------------------------
+    # Execution paths
+    # ------------------------------------------------------------------
+
+    def _run_pool(
+        self,
+        specs: "list[ExperimentSpec]",
+        records: "list[JobRecord]",
+        outcomes: "list[Optional[SpecOutcome]]",
+        progress: Optional[ProgressFn],
+    ) -> "list[int]":
+        """Fan out over a process pool; returns indexes needing retry."""
+        retry: list[int] = []
+        try:
+            executor = _make_executor(self.config.resolved_jobs())
+        except OSError:
+            return list(range(len(specs)))
+        with executor:
+            futures = {}
+            for index, spec in enumerate(specs):
+                try:
+                    future = executor.submit(
+                        execute_spec, spec, self.config
+                    )
+                except (BrokenProcessPool, RuntimeError, OSError):
+                    retry.append(index)
+                    continue
+                futures[future] = index
+                records[index].status = "running"
+                records[index].executor = "worker"
+            for future, index in futures.items():
+                record = records[index]
+                try:
+                    payload = future.result()
+                except BrokenProcessPool:
+                    retry.append(index)
+                    record.status = "queued"
+                    continue
+                except OSError:
+                    retry.append(index)
+                    record.status = "queued"
+                    continue
+                except ReproError as error:
+                    record.status = "failed"
+                    record.error = str(error)
+                    if progress is not None:
+                        progress(record)
+                    continue
+                self._finish(record, payload, specs[index], outcomes, index)
+                if progress is not None:
+                    progress(record)
+        return retry
+
+    def _run_inline(
+        self,
+        specs: "list[ExperimentSpec]",
+        records: "list[JobRecord]",
+        outcomes: "list[Optional[SpecOutcome]]",
+        index: int,
+        progress: Optional[ProgressFn],
+        executor: str,
+    ) -> None:
+        record = records[index]
+        record.status = "running"
+        record.executor = executor
+        try:
+            payload = execute_spec(specs[index], self.config)
+        except ReproError as error:
+            record.status = "failed"
+            record.error = str(error)
+            if progress is not None:
+                progress(record)
+            return
+        self._finish(record, payload, specs[index], outcomes, index)
+        if progress is not None:
+            progress(record)
+
+    def _finish(
+        self,
+        record: JobRecord,
+        payload: dict,
+        spec: ExperimentSpec,
+        outcomes: "list[Optional[SpecOutcome]]",
+        index: int,
+    ) -> None:
+        outcome = SpecOutcome(
+            spec=spec,
+            run=payload["run"],
+            trace_hash=payload["trace_hash"],
+        )
+        for label, entry in payload["modes"].items():
+            outcome.results[label] = SimResult.from_dict(entry["payload"])
+            outcome.cached[label] = entry["cached"]
+        outcomes[index] = outcome
+        record.status = "done"
+        record.wall_seconds = payload["seconds"]
+        record.modes_cached = sum(
+            1 for cached in outcome.cached.values() if cached
+        )
+        record.modes_simulated = record.modes_total - record.modes_cached
+
+
+# ----------------------------------------------------------------------
+# Grid builders: the paper's standard sweeps as explicit spec lists
+# ----------------------------------------------------------------------
+
+
+def evaluation_grid_specs(scale: str) -> "list[ExperimentSpec]":
+    """Figure 7 workloads x (Baseline / U-PEI / GraphPIM)."""
+    trio = SystemConfig().evaluation_trio()
+    return [
+        ExperimentSpec.for_workload(
+            code, scale, modes=trio, params=workload_params(code)
+        )
+        for code in FIGURE7_CODES
+    ]
+
+
+def motivation_extra_specs(scale: str) -> "list[ExperimentSpec]":
+    """The non-Figure-7 workloads, baseline mode only (Figures 1/2)."""
+    return [
+        ExperimentSpec.for_workload(
+            workload.code,
+            scale,
+            modes=[SystemConfig.baseline()],
+            params=workload_params(workload.code),
+        )
+        for workload in all_workloads()
+        if workload.code not in FIGURE7_CODES
+    ]
+
+
+def plain_atomics_specs(scale: str) -> "list[ExperimentSpec]":
+    """Figure 4's "atomics as load+store" grid (strict-exempt: the
+    recorded races are the point of the micro-benchmark)."""
+    return [
+        ExperimentSpec.for_workload(
+            code,
+            scale,
+            modes=[SystemConfig.baseline()],
+            plain_atomics=True,
+            params=workload_params(code),
+            strict_exempt=True,
+        )
+        for code in FIGURE7_CODES
+    ]
+
+
+@dataclass
+class GridResults:
+    """Assembled products of one full-grid run."""
+
+    evaluation: "dict[str, EvaluationReport]" = field(default_factory=dict)
+    motivation: "dict[str, tuple[WorkloadRun, SimResult]]" = field(
+        default_factory=dict
+    )
+    plain: "dict[str, SimResult]" = field(default_factory=dict)
+
+
+def run_evaluation_grid(
+    config: Optional[RunnerConfig] = None,
+    progress: Optional[ProgressFn] = None,
+) -> "tuple[dict[str, EvaluationReport], RunnerReport]":
+    """Execute the Figure 7 evaluation grid under ``config``."""
+    config = config or RunnerConfig()
+    scale = config.resolved_scale()
+    specs = evaluation_grid_specs(scale)
+    outcomes, report = ExperimentRunner(config).run(specs, progress)
+    return {
+        outcome.spec.workload: outcome.report() for outcome in outcomes
+    }, report
+
+
+def run_full_grid(
+    config: Optional[RunnerConfig] = None,
+    progress: Optional[ProgressFn] = None,
+) -> "tuple[GridResults, RunnerReport]":
+    """Execute every suite the paper's figures draw on, in one fan-out.
+
+    Covers the evaluation trio grid, the baseline-only motivation
+    extras, and the plain-atomics micro-benchmark, maximizing pool
+    utilization; ``examples/reproduce_all.py`` uses this to warm the
+    harness suites before rendering artifacts.
+    """
+    config = config or RunnerConfig()
+    scale = config.resolved_scale()
+    eval_specs = evaluation_grid_specs(scale)
+    extra_specs = motivation_extra_specs(scale)
+    plain_specs = plain_atomics_specs(scale)
+    specs = eval_specs + extra_specs + plain_specs
+    outcomes, report = ExperimentRunner(config).run(specs, progress)
+    grid = GridResults()
+    for outcome in outcomes:
+        spec = outcome.spec
+        if spec.plain_atomics:
+            grid.plain[spec.workload] = outcome.results["Baseline"]
+        elif len(spec.modes) > 1:
+            grid.evaluation[spec.workload] = outcome.report()
+        else:
+            grid.motivation[spec.workload] = (
+                outcome.run,
+                outcome.results["Baseline"],
+            )
+    # Figure 7 workloads reuse their evaluation-grid baselines.
+    for code, code_report in grid.evaluation.items():
+        grid.motivation[code] = (code_report.run, code_report.baseline)
+    return grid, report

@@ -1,0 +1,52 @@
+"""Content-addressed cache keys for the experiment runner.
+
+A cached simulation result is valid exactly when three things are
+unchanged: the trace it replayed, the system configuration it was
+replayed under, and the simulator code that produced it.  Each factor
+gets its own fingerprint:
+
+- trace — :func:`repro.trace.io.trace_digest` over the canonical event
+  encoding (the same bytes the ``.npz`` format stores);
+- configuration — :func:`config_fingerprint`, a sha256 over the
+  canonical JSON of :meth:`SystemConfig.to_dict`;
+- code — :data:`CODE_VERSION`, a hand-bumped salt.
+
+:func:`result_key` combines them into the object name under
+``.repro_cache/``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.sim.config import SystemConfig
+from repro.trace.io import trace_digest
+
+#: Salt mixed into every cache key.  Bump whenever a change to the
+#: timing model, trace encoding, or workload execution can alter
+#: simulation output — all previously cached results then miss and are
+#: regenerated instead of silently serving stale numbers.
+CODE_VERSION = "graphpim-sim-v1"
+
+
+def config_fingerprint(config: SystemConfig) -> str:
+    """Stable hex digest of a system configuration's content."""
+    canonical = json.dumps(config.to_dict(), sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def result_key(
+    trace_hash: str, config_fp: str, salt: str = CODE_VERSION
+) -> str:
+    """Cache object name for one (trace, config, code version) triple."""
+    combined = f"{salt}\n{trace_hash}\n{config_fp}"
+    return hashlib.sha256(combined.encode()).hexdigest()
+
+
+__all__ = [
+    "CODE_VERSION",
+    "config_fingerprint",
+    "result_key",
+    "trace_digest",
+]

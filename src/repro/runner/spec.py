@@ -1,0 +1,227 @@
+"""Experiment job descriptions and runner configuration.
+
+:class:`ExperimentSpec` makes the suite's implicit (workload, scale,
+mode) grid explicit: one spec is one independently executable job —
+trace a workload once, simulate it under each of its modes.  Specs are
+frozen, hashable, and picklable, so they can cross process boundaries
+to pool workers unchanged.
+
+:class:`RunnerConfig` replaces the old module-global suite knobs
+(``set_strict`` et al.): strictness, scale, parallelism, and cache
+placement are explicit fields carried by the value, not ambient state.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.runner.fingerprint import CODE_VERSION
+from repro.sim.config import SystemConfig
+
+#: Default on-disk cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """How a job grid is executed.
+
+    Parameters
+    ----------
+    scale:
+        Experiment scale (``tiny`` / ``small`` / ``paper``); None means
+        "resolve the ambient default" (``REPRO_SCALE`` env or small).
+    strict:
+        Run the static-analysis pre-flight on every traced workload and
+        abort the grid on ERROR findings.  Replaces the deprecated
+        ``harness.suite.set_strict`` global.
+    jobs:
+        Worker process count; None means ``os.cpu_count()``.
+    parallel:
+        When False, every job runs in-process (the ``--no-parallel``
+        escape hatch).  Results are bit-identical either way — the
+        scheduler is deterministic per job.
+    cache_dir:
+        Root of the persistent result cache; None disables the disk
+        cache entirely (simulations always run).
+    cache_salt:
+        Code-version component of every cache key.  Defaults to
+        :data:`~repro.runner.fingerprint.CODE_VERSION`; override to
+        segregate (or deliberately invalidate) cache populations.
+    """
+
+    scale: Optional[str] = None
+    strict: bool = False
+    jobs: Optional[int] = None
+    parallel: bool = True
+    cache_dir: Optional[str] = DEFAULT_CACHE_DIR
+    cache_salt: str = CODE_VERSION
+
+    def resolved_jobs(self) -> int:
+        """Effective worker count (>= 1)."""
+        if self.jobs is not None:
+            return max(1, self.jobs)
+        return max(1, os.cpu_count() or 1)
+
+    def resolved_scale(self) -> str:
+        """Effective scale string."""
+        from repro.core.presets import resolve_scale
+
+        return resolve_scale(self.scale)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One executable job: trace a workload, simulate its modes.
+
+    ``params`` is a sorted tuple of (name, value) pairs rather than a
+    dict so the spec stays hashable; use :meth:`params_dict` to expand.
+    ``strict_exempt`` opts a spec out of the grid-wide strict
+    pre-flight — the plain-atomics micro-benchmark records shared
+    atomics as racy load+store pairs *on purpose*, which is exactly what
+    the race detector flags.
+    """
+
+    workload: str
+    scale: str
+    modes: tuple[SystemConfig, ...]
+    num_threads: int = 16
+    plain_atomics: bool = False
+    params: tuple[tuple[str, Any], ...] = ()
+    strict_exempt: bool = False
+
+    @classmethod
+    def for_workload(
+        cls,
+        workload: str,
+        scale: str,
+        modes: "list[SystemConfig] | tuple[SystemConfig, ...]",
+        num_threads: int = 16,
+        plain_atomics: bool = False,
+        params: Optional[dict] = None,
+        strict_exempt: bool = False,
+    ) -> "ExperimentSpec":
+        return cls(
+            workload=workload,
+            scale=scale,
+            modes=tuple(modes),
+            num_threads=num_threads,
+            plain_atomics=plain_atomics,
+            params=tuple(sorted((params or {}).items())),
+            strict_exempt=strict_exempt,
+        )
+
+    def params_dict(self) -> dict:
+        return dict(self.params)
+
+    @property
+    def job_id(self) -> str:
+        """Human-readable identity within one grid."""
+        suffix = "/plain" if self.plain_atomics else ""
+        return f"{self.workload}@{self.scale}{suffix}"
+
+
+@dataclass
+class JobRecord:
+    """Structured progress for one spec (``repro run`` output rows)."""
+
+    job_id: str
+    workload: str
+    scale: str
+    status: str = "queued"  # queued | running | done | failed
+    #: Where the job executed: "worker", "inline", or "fallback"
+    #: (re-run in-process after its worker died).
+    executor: str = ""
+    modes_total: int = 0
+    modes_cached: int = 0
+    modes_simulated: int = 0
+    wall_seconds: float = 0.0
+    error: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "workload": self.workload,
+            "scale": self.scale,
+            "status": self.status,
+            "executor": self.executor,
+            "modes_total": self.modes_total,
+            "modes_cached": self.modes_cached,
+            "modes_simulated": self.modes_simulated,
+            "wall_seconds": self.wall_seconds,
+            "error": self.error,
+        }
+
+
+@dataclass
+class RunnerReport:
+    """Grid-level outcome: per-job records plus aggregate counters."""
+
+    jobs: list[JobRecord] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    parallel: bool = False
+    worker_count: int = 1
+    #: True when the process pool broke and jobs were re-run in-process.
+    fell_back: bool = False
+
+    @property
+    def jobs_total(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def jobs_failed(self) -> int:
+        return sum(1 for job in self.jobs if job.status == "failed")
+
+    @property
+    def simulations(self) -> int:
+        return sum(job.modes_simulated for job in self.jobs)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(job.modes_cached for job in self.jobs)
+
+    @property
+    def all_cached(self) -> bool:
+        """True when the whole grid was served from the result cache."""
+        return self.jobs_total > 0 and self.simulations == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "jobs": [job.to_dict() for job in self.jobs],
+            "wall_seconds": self.wall_seconds,
+            "parallel": self.parallel,
+            "worker_count": self.worker_count,
+            "fell_back": self.fell_back,
+            "jobs_total": self.jobs_total,
+            "jobs_failed": self.jobs_failed,
+            "simulations": self.simulations,
+            "cache_hits": self.cache_hits,
+            "all_cached": self.all_cached,
+        }
+
+    def summary(self) -> str:
+        """One-paragraph text rendering for CLI / benchmark logs."""
+        mode = (
+            f"{self.worker_count} worker(s)" if self.parallel else "in-process"
+        )
+        if self.fell_back:
+            mode += " (pool broke; finished in-process)"
+        lines = [
+            f"runner: {self.jobs_total} job(s) via {mode} in "
+            f"{self.wall_seconds:.1f}s — {self.simulations} simulation(s), "
+            f"{self.cache_hits} cache hit(s)"
+            + (", ALL CACHED" if self.all_cached else "")
+        ]
+        for job in self.jobs:
+            line = (
+                f"  {job.job_id:16s} {job.status:6s} "
+                f"[{job.executor:8s}] "
+                f"sim={job.modes_simulated} hit={job.modes_cached} "
+                f"{job.wall_seconds:6.2f}s"
+            )
+            if job.error:
+                line += f"  {job.error}"
+            lines.append(line)
+        return "\n".join(lines)

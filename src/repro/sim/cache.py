@@ -39,6 +39,18 @@ class CacheConfig:
     def num_sets(self) -> int:
         return self.size_bytes // (self.ways * self.line_bytes)
 
+    def to_dict(self) -> dict:
+        return {
+            "size_bytes": self.size_bytes,
+            "ways": self.ways,
+            "latency": self.latency,
+            "line_bytes": self.line_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CacheConfig":
+        return cls(**data)
+
 
 @dataclass
 class CacheLevelStats:
@@ -58,6 +70,13 @@ class CacheLevelStats:
     def mpki(self, kilo_instructions: float) -> float:
         """Misses per kilo-instruction (Figure 2)."""
         return self.misses / kilo_instructions if kilo_instructions else 0.0
+
+    def to_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CacheLevelStats":
+        return cls(hits=data["hits"], misses=data["misses"])
 
 
 class _SetAssocCache:

@@ -111,6 +111,48 @@ class SystemConfig:
         return self.label or self.mode.value
 
     # ------------------------------------------------------------------
+    # Serialization (result cache, worker IPC, `repro run --json`)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe mapping that round-trips via :meth:`from_dict`."""
+        return {
+            "mode": self.mode.value,
+            "num_cores": self.num_cores,
+            "issue_width": self.issue_width,
+            "mlp": self.mlp,
+            "fp_extension": self.fp_extension,
+            "pmr_bypass": self.pmr_bypass,
+            "l1": self.l1.to_dict(),
+            "l2": self.l2.to_dict(),
+            "l3": self.l3.to_dict(),
+            "hmc": self.hmc.to_dict(),
+            "dram": self.dram.to_dict() if self.dram is not None else None,
+            "property_hmc_fraction": self.property_hmc_fraction,
+            "prefetch_next_line": self.prefetch_next_line,
+            "atomic_freeze_cycles": self.atomic_freeze_cycles,
+            "fp_atomic_extra_cycles": self.fp_atomic_extra_cycles,
+            "upei_host_op_cycles": self.upei_host_op_cycles,
+            "uc_posted_issue_cycles": self.uc_posted_issue_cycles,
+            "offload_issue_cycles": self.offload_issue_cycles,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemConfig":
+        from repro.dram.device import DdrConfig
+
+        kwargs = dict(data)
+        kwargs["mode"] = Mode(kwargs["mode"])
+        kwargs["l1"] = CacheConfig.from_dict(kwargs["l1"])
+        kwargs["l2"] = CacheConfig.from_dict(kwargs["l2"])
+        kwargs["l3"] = CacheConfig.from_dict(kwargs["l3"])
+        kwargs["hmc"] = HmcConfig.from_dict(kwargs["hmc"])
+        if kwargs["dram"] is not None:
+            kwargs["dram"] = DdrConfig.from_dict(kwargs["dram"])
+        return cls(**kwargs)
+
+    # ------------------------------------------------------------------
     # Preset constructors
     # ------------------------------------------------------------------
 

@@ -66,6 +66,15 @@ class CoreStats:
         for name in self.__dataclass_fields__:
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
+    def to_dict(self) -> dict:
+        return {
+            name: getattr(self, name) for name in self.__dataclass_fields__
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CoreStats":
+        return cls(**data)
+
 
 class Core:
     """Replays one thread trace; shared resources are injected."""

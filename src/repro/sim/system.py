@@ -20,6 +20,11 @@ from repro.sim.config import SystemConfig
 from repro.sim.core import STEP_BARRIER, STEP_DONE, Core, CoreStats
 from repro.trace.stream import Trace
 
+#: Version of the :meth:`SimResult.to_dict` payload layout.  Bump when
+#: fields are added/renamed so stale cache entries and cross-process
+#: payloads are rejected instead of silently misread.
+RESULT_SCHEMA_VERSION = 1
+
 
 @dataclass
 class SimResult:
@@ -50,6 +55,64 @@ class SimResult:
         if self.cycles == 0:
             raise SimulationError("cannot compute speedup of a zero-cycle run")
         return baseline.cycles / self.cycles
+
+    # ------------------------------------------------------------------
+    # Serialization (result cache, worker IPC, `repro run --json`)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Stable JSON-safe payload; round-trips via :meth:`from_dict`."""
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "config": self.config.to_dict(),
+            "cycles": self.cycles,
+            "core_stats": self.core_stats.to_dict(),
+            "cache_stats": {
+                level: stats.to_dict()
+                for level, stats in self.cache_stats.items()
+            },
+            "hmc_stats": self.hmc_stats.to_dict(),
+            "cache_invalidations": self.cache_invalidations,
+            "cache_writebacks": self.cache_writebacks,
+            "dram_stats": (
+                self.dram_stats.to_dict()
+                if self.dram_stats is not None
+                else None
+            ),
+            "cache_prefetches": self.cache_prefetches,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Raises :class:`SimulationError` on schema mismatch so cache
+        readers can treat incompatible entries as misses.
+        """
+        schema = data.get("schema")
+        if schema != RESULT_SCHEMA_VERSION:
+            raise SimulationError(
+                f"unsupported SimResult schema {schema!r} "
+                f"(expected {RESULT_SCHEMA_VERSION})"
+            )
+        return cls(
+            config=SystemConfig.from_dict(data["config"]),
+            cycles=data["cycles"],
+            core_stats=CoreStats.from_dict(data["core_stats"]),
+            cache_stats={
+                level: CacheLevelStats.from_dict(stats)
+                for level, stats in data["cache_stats"].items()
+            },
+            hmc_stats=HmcStats.from_dict(data["hmc_stats"]),
+            cache_invalidations=data["cache_invalidations"],
+            cache_writebacks=data["cache_writebacks"],
+            dram_stats=(
+                DdrStats.from_dict(data["dram_stats"])
+                if data["dram_stats"] is not None
+                else None
+            ),
+            cache_prefetches=data["cache_prefetches"],
+        )
 
     # ------------------------------------------------------------------
     # Figure 9 breakdown

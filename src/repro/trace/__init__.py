@@ -15,6 +15,7 @@ from repro.trace.events import (
     AtomicOp,
     is_fp_op,
 )
+from repro.trace.io import trace_digest
 from repro.trace.stream import ThreadTrace, Trace
 from repro.trace.stats import TraceStats, summarize_trace
 
@@ -29,4 +30,5 @@ __all__ = [
     "TraceStats",
     "is_fp_op",
     "summarize_trace",
+    "trace_digest",
 ]

@@ -12,6 +12,7 @@ events), ``gap``, ``op`` (-1 when not an atomic), ``ret`` (0/1).
 
 from __future__ import annotations
 
+import hashlib
 import os
 
 import numpy as np
@@ -72,6 +73,23 @@ def _decode_thread(thread_id: int, rows: np.ndarray) -> ThreadTrace:
         else:
             raise TraceError(f"unknown event kind {kind} in trace file")
     return thread
+
+
+def trace_digest(trace: Trace) -> str:
+    """Stable content hash of a trace (sha256 hex digest).
+
+    Hashes the same column-oriented encoding the ``.npz`` format uses,
+    so the digest identifies the trace *content* independently of how
+    it was produced (fresh execution vs. loaded from disk).  The
+    experiment runner keys its on-disk result cache on this, and the
+    strict pre-flight uses it to skip re-linting an already-clean trace.
+    """
+    digest = hashlib.sha256()
+    digest.update(str(trace.num_threads).encode())
+    for thread in trace.threads:
+        digest.update(str(thread.thread_id).encode())
+        digest.update(_encode_thread(thread).tobytes())
+    return digest.hexdigest()
 
 
 def save_trace(trace: Trace, path: str | os.PathLike) -> None:

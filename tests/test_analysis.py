@@ -542,14 +542,25 @@ def test_evaluate_strict_passes_on_clean_workload(tiny_csr):
     assert len(report.results) == 3
 
 
-def test_suite_strict_toggle_and_preflight():
-    assert strict_enabled() is False
-    previous = set_strict(True)
+def test_trace_workload_strict_preflight():
+    run = trace_workload("BFS", "tiny", strict=True)
+    assert run.trace.num_events > 0
+
+
+def test_deprecated_strict_toggle_still_drives_trace_workload():
+    with pytest.warns(DeprecationWarning):
+        assert strict_enabled() is False
+    with pytest.warns(DeprecationWarning):
+        previous = set_strict(True)
     assert previous is False
     try:
-        assert strict_enabled() is True
+        with pytest.warns(DeprecationWarning):
+            assert strict_enabled() is True
+        # strict=None falls back to the deprecated ambient toggle.
         run = trace_workload("BFS", "tiny")
         assert run.trace.num_events > 0
     finally:
-        set_strict(previous)
-    assert strict_enabled() is False
+        with pytest.warns(DeprecationWarning):
+            set_strict(previous)
+    with pytest.warns(DeprecationWarning):
+        assert strict_enabled() is False

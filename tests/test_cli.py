@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -57,6 +59,41 @@ class TestCli:
         assert main(["experiment", "tab05"]) == 0
         out = capsys.readouterr().out
         assert "64-byte READ" in out
+
+    def test_run_grid_caches_and_reports(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = [
+            "run", "--scale", "tiny", "--no-parallel",
+            "--cache-dir", cache_dir,
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "runner:" in out
+        assert "speedup" in out
+
+        assert main(args + ["--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["runner"]["all_cached"] is True
+        assert report["runner"]["simulations"] == 0
+        assert set(report["workloads"]) >= {"BFS", "PRank"}
+        bfs = report["workloads"]["BFS"]
+        assert set(bfs["results"]) == {"Baseline", "U-PEI", "GraphPIM"}
+
+    def test_cache_info_and_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        main(["run", "--scale", "tiny", "--no-parallel",
+              "--cache-dir", cache_dir])
+        capsys.readouterr()
+
+        assert main(["cache", "--cache-dir", cache_dir, "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["entries"] == 24
+
+        assert main(["cache", "--cache-dir", cache_dir, "--clear"]) == 0
+        out = capsys.readouterr().out
+        assert "cleared" in out
+        assert main(["cache", "--cache-dir", cache_dir, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
 
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

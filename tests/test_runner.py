@@ -1,0 +1,348 @@
+"""Tests for the parallel experiment runner and its result cache.
+
+Covers the ISSUE 2 acceptance surface: cache hit/miss behavior under
+config and salt changes, parallel-vs-serial bit-identical results,
+worker-crash fallback, the suite-API deprecation shims, and the
+serialization round-trips the cache and worker IPC rely on.
+"""
+
+import dataclasses
+import json
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+import repro.runner.engine as engine_module
+from repro.common.errors import RunnerError, SimulationError
+from repro.core.api import EvaluationReport, GraphPimSystem
+from repro.runner import (
+    ExperimentRunner,
+    ExperimentSpec,
+    ResultCache,
+    RunnerConfig,
+    config_fingerprint,
+    execute_spec,
+    result_key,
+    run_evaluation_grid,
+    trace_digest,
+)
+from repro.sim.config import SystemConfig
+from repro.sim.system import SimResult, simulate
+from repro.workloads import get_workload
+
+TRIO = tuple(SystemConfig().evaluation_trio())
+
+
+def _spec(code="DC", modes=TRIO, **kwargs):
+    return ExperimentSpec.for_workload(code, "tiny", modes=modes, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def dc_payload():
+    """One executed spec without any caching (shared baseline truth)."""
+    return execute_spec(_spec(), RunnerConfig(parallel=False, cache_dir=None))
+
+
+# ----------------------------------------------------------------------
+# Result cache
+# ----------------------------------------------------------------------
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        assert cache.get("k" * 64) is None
+        cache.put("k" * 64, {"a": 1})
+        assert cache.get("k" * 64) == {"a": 1}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put("x" * 64, {"a": 1})
+        path = cache._path("x" * 64)
+        path.write_text("{not json")
+        assert cache.get("x" * 64) is None
+
+    def test_clear_and_info(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put("a" * 64, {"v": 1})
+        cache.put("b" * 64, {"v": 2})
+        info = cache.info()
+        assert info["entries"] == 2
+        assert info["size_bytes"] > 0
+        assert cache.clear() == 2
+        assert cache.entry_count() == 0
+
+
+class TestCacheKeys:
+    def test_config_fingerprint_stable_and_sensitive(self):
+        base = SystemConfig()
+        assert config_fingerprint(base) == config_fingerprint(SystemConfig())
+        tweaked = dataclasses.replace(base, mlp=base.mlp + 1)
+        assert config_fingerprint(base) != config_fingerprint(tweaked)
+
+    def test_result_key_depends_on_all_parts(self):
+        key = result_key("t1", "c1", "s1")
+        assert key != result_key("t2", "c1", "s1")
+        assert key != result_key("t1", "c2", "s1")
+        assert key != result_key("t1", "c1", "s2")
+
+    def test_trace_digest_matches_content(self):
+        from repro.graph.generators import ldbc_like_graph
+
+        graph = ldbc_like_graph(200, seed=7)
+        a = get_workload("BFS").run(graph, num_threads=4)
+        b = get_workload("BFS").run(graph, num_threads=4)
+        assert trace_digest(a.trace) == trace_digest(b.trace)
+        c = get_workload("DC").run(graph, num_threads=4)
+        assert trace_digest(a.trace) != trace_digest(c.trace)
+
+
+# ----------------------------------------------------------------------
+# execute_spec: caching semantics
+# ----------------------------------------------------------------------
+
+
+class TestExecuteSpecCaching:
+    def test_second_execution_is_fully_cached(self, tmp_path):
+        config = RunnerConfig(cache_dir=str(tmp_path / "c"))
+        first = execute_spec(_spec(), config)
+        assert all(not m["cached"] for m in first["modes"].values())
+        second = execute_spec(_spec(), config)
+        assert all(m["cached"] for m in second["modes"].values())
+        for label in first["modes"]:
+            assert (
+                first["modes"][label]["payload"]
+                == second["modes"][label]["payload"]
+            )
+
+    def test_config_change_misses(self, tmp_path):
+        config = RunnerConfig(cache_dir=str(tmp_path / "c"))
+        execute_spec(_spec(), config)
+        tweaked = tuple(
+            dataclasses.replace(mode, mlp=mode.mlp + 1) for mode in TRIO
+        )
+        result = execute_spec(_spec(modes=tweaked), config)
+        assert all(not m["cached"] for m in result["modes"].values())
+
+    def test_salt_change_invalidates(self, tmp_path):
+        cache_dir = str(tmp_path / "c")
+        execute_spec(_spec(), RunnerConfig(cache_dir=cache_dir))
+        bumped = RunnerConfig(cache_dir=cache_dir, cache_salt="sim-v2")
+        result = execute_spec(_spec(), bumped)
+        assert all(not m["cached"] for m in result["modes"].values())
+        # ... and the new population is itself cacheable.
+        again = execute_spec(_spec(), bumped)
+        assert all(m["cached"] for m in again["modes"].values())
+
+    def test_cached_payloads_match_fresh_simulation(
+        self, tmp_path, dc_payload
+    ):
+        config = RunnerConfig(cache_dir=str(tmp_path / "c"))
+        execute_spec(_spec(), config)
+        cached = execute_spec(_spec(), config)
+        for label, entry in cached["modes"].items():
+            assert entry["payload"] == dc_payload["modes"][label]["payload"]
+
+
+# ----------------------------------------------------------------------
+# Runner: parallel determinism, failures, fallback
+# ----------------------------------------------------------------------
+
+
+class TestRunnerExecution:
+    def test_parallel_bit_identical_to_serial(self, tmp_path):
+        specs = [_spec("DC"), _spec("kCore"), _spec("BFS")]
+        serial_cfg = RunnerConfig(parallel=False, cache_dir=None)
+        parallel_cfg = RunnerConfig(jobs=2, parallel=True, cache_dir=None)
+        serial, serial_report = ExperimentRunner(serial_cfg).run(specs)
+        parallel, parallel_report = ExperimentRunner(parallel_cfg).run(specs)
+        assert not serial_report.parallel
+        assert parallel_report.parallel
+        for s_out, p_out in zip(serial, parallel):
+            assert s_out.spec == p_out.spec
+            for label in s_out.results:
+                assert (
+                    s_out.results[label].to_dict()
+                    == p_out.results[label].to_dict()
+                )
+
+    def test_failed_job_raises_runner_error(self):
+        bad = ExperimentSpec.for_workload("NOPE", "tiny", modes=TRIO)
+        config = RunnerConfig(parallel=False, cache_dir=None)
+        with pytest.raises(RunnerError, match="NOPE"):
+            ExperimentRunner(config).run([bad])
+
+    def test_broken_pool_falls_back_inline(self, monkeypatch):
+        class _BrokenFuture:
+            def result(self):
+                raise BrokenProcessPool("worker died")
+
+        class _BrokenPool:
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc_info):
+                return False
+
+            def submit(self, fn, *args):
+                return _BrokenFuture()
+
+        monkeypatch.setattr(
+            engine_module, "_make_executor", lambda workers: _BrokenPool()
+        )
+        specs = [_spec("DC"), _spec("kCore")]
+        config = RunnerConfig(jobs=2, parallel=True, cache_dir=None)
+        outcomes, report = ExperimentRunner(config).run(specs)
+        assert report.fell_back
+        assert len(outcomes) == len(specs)
+        assert all(job.status == "done" for job in report.jobs)
+        assert all(job.executor == "fallback" for job in report.jobs)
+        # Fallback results are the same bits the workers would have made.
+        direct = simulate(outcomes[0].run.trace, TRIO[2])
+        assert outcomes[0].results["GraphPIM"].to_dict() == direct.to_dict()
+
+    def test_report_counters(self, tmp_path):
+        config = RunnerConfig(
+            parallel=False, cache_dir=str(tmp_path / "c")
+        )
+        _outcomes, cold = ExperimentRunner(config).run([_spec("kCore")])
+        assert cold.simulations == len(TRIO)
+        assert cold.cache_hits == 0
+        assert not cold.all_cached
+        _outcomes, warm = ExperimentRunner(config).run([_spec("kCore")])
+        assert warm.simulations == 0
+        assert warm.cache_hits == len(TRIO)
+        assert warm.all_cached
+        as_json = json.loads(json.dumps(warm.to_dict()))
+        assert as_json["all_cached"] is True
+        assert as_json["jobs"][0]["workload"] == "kCore"
+
+    def test_grid_strict_rejects_racy_plain_spec(self):
+        racy = _spec(plain_atomics=True, modes=(TRIO[0],))
+        config = RunnerConfig(
+            parallel=False, cache_dir=None, strict=True
+        )
+        with pytest.raises(RunnerError, match="RACE001"):
+            ExperimentRunner(config).run([racy])
+        exempt = _spec(
+            plain_atomics=True, modes=(TRIO[0],), strict_exempt=True
+        )
+        outcomes, _report = ExperimentRunner(config).run([exempt])
+        assert outcomes[0].results["Baseline"].cycles > 0
+
+
+# ----------------------------------------------------------------------
+# Serialization round-trips (cache + worker IPC substrate)
+# ----------------------------------------------------------------------
+
+
+class TestSerialization:
+    def test_simresult_roundtrip_through_json(self, dc_payload):
+        for entry in dc_payload["modes"].values():
+            payload = json.loads(json.dumps(entry["payload"]))
+            result = SimResult.from_dict(payload)
+            assert result.to_dict() == entry["payload"]
+
+    def test_simresult_schema_mismatch_rejected(self, dc_payload):
+        payload = dict(dc_payload["modes"]["Baseline"]["payload"])
+        payload["schema"] = 999
+        with pytest.raises(SimulationError, match="schema"):
+            SimResult.from_dict(payload)
+
+    def test_evaluation_report_roundtrip(self, tiny_csr):
+        system = GraphPimSystem(num_threads=4)
+        report = system.evaluate("BFS", tiny_csr)
+        data = json.loads(json.dumps(report.to_dict()))
+        rebuilt = EvaluationReport.from_dict(data)
+        assert rebuilt.workload_code == "BFS"
+        assert rebuilt.run is None
+        assert rebuilt.to_dict()["results"] == data["results"]
+        assert rebuilt.speedup() == report.speedup()
+        # Re-attaching the live run restores the full summary.
+        attached = EvaluationReport.from_dict(data, run=report.run)
+        assert attached.summary() == report.summary()
+
+    def test_evaluation_report_schema_mismatch_rejected(self):
+        with pytest.raises(SimulationError, match="schema"):
+            EvaluationReport.from_dict(
+                {"schema": -1, "workload_code": "BFS", "results": {}}
+            )
+
+
+# ----------------------------------------------------------------------
+# Suite API migration: shims, explicit strictness, lint dedup
+# ----------------------------------------------------------------------
+
+
+class TestSuiteMigration:
+    def test_set_strict_shim_warns_and_still_works(self):
+        from repro.harness import suite
+
+        with pytest.warns(DeprecationWarning, match="set_strict"):
+            previous = suite.set_strict(True)
+        try:
+            with pytest.warns(DeprecationWarning, match="strict_enabled"):
+                assert suite.strict_enabled() is True
+        finally:
+            with pytest.warns(DeprecationWarning):
+                suite.set_strict(previous)
+
+    def test_trace_workload_explicit_strict(self):
+        from repro.harness.suite import trace_workload
+
+        run = trace_workload("BFS", "tiny", strict=True)
+        assert run.trace.num_events > 0
+
+    def test_preflight_dedup_skips_second_lint(self, monkeypatch):
+        import repro.analysis as analysis
+
+        analysis.clear_preflight_cache()
+        calls = []
+        real_analyze = analysis.analyze_run
+
+        def counting_analyze(run, config=None):
+            calls.append(run)
+            return real_analyze(run, config=config)
+
+        monkeypatch.setattr(analysis, "analyze_run", counting_analyze)
+        from repro.harness.suite import trace_workload
+
+        run = trace_workload("BFS", "tiny", strict=True)
+        assert len(calls) == 1
+        # Same content evaluated strictly again: no second trace walk.
+        GraphPimSystem(num_threads=16, strict=True).evaluate_trace(run)
+        assert len(calls) == 1
+        analysis.clear_preflight_cache()
+        GraphPimSystem(num_threads=16, strict=True).evaluate_trace(run)
+        assert len(calls) == 2
+
+    def test_resolve_strict_precedence(self):
+        system = GraphPimSystem(strict=True)
+        assert system._resolve_strict(None) is True
+        assert system._resolve_strict(False) is False
+        assert GraphPimSystem(strict=False)._resolve_strict(True) is True
+
+
+# ----------------------------------------------------------------------
+# Grid entry point
+# ----------------------------------------------------------------------
+
+
+class TestEvaluationGrid:
+    def test_second_grid_run_is_all_cached(self, tmp_path):
+        config = RunnerConfig(
+            scale="tiny", parallel=False, cache_dir=str(tmp_path / "c")
+        )
+        reports, cold = run_evaluation_grid(config)
+        assert set(reports) == {
+            "BFS", "CComp", "DC", "kCore", "SSSP", "TC", "BC", "PRank"
+        }
+        assert cold.simulations == 24
+        reports2, warm = run_evaluation_grid(config)
+        assert warm.all_cached
+        for code, report in reports.items():
+            for label, result in report.results.items():
+                assert (
+                    result.cycles == reports2[code].results[label].cycles
+                ), (code, label)
