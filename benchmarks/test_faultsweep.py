@@ -1,0 +1,26 @@
+"""Fault sweep: GraphPIM speedup survival under link bit errors."""
+
+from benchmarks.conftest import run_and_render
+from repro.harness import run_experiment
+
+
+def test_faultsweep_ber(benchmark, scale):
+    result = run_and_render(
+        benchmark, lambda: run_experiment("faultsweep", scale=scale)
+    )
+    # Fault-free, GraphPIM must beat the baseline on the atomic-dense
+    # sweep workloads (the Figure 7 result this sweep stresses).
+    assert result.metrics["mean_speedup_clean"] > 1.0
+    # At the worst swept BER the retry protocol taxes both machines;
+    # the speedup should be perturbed, not destroyed — GraphPIM's
+    # advantage comes from fewer round trips, which a lossy link does
+    # not invert.
+    assert result.metrics["speedup_retention"] > 0.7
+    # Retransmissions must actually occur at nonzero BER...
+    retx = result.column("gpim_retx_flits")
+    assert retx[-1] > 0
+    # ...and never at BER 0 (first row of each workload block).
+    first_rows = [
+        row for row in result.rows if row[1] == "0"
+    ]
+    assert first_rows and all(row[-1] == 0 for row in first_rows)

@@ -39,7 +39,13 @@ else
 fi
 
 step "pytest (tier-1 tests)"
-run_or_fail python -m pytest -q tests
+# A hung test (e.g. a wedged worker pool) should fail CI, not stall it:
+# cap the whole suite well above its normal couple-of-minutes runtime.
+if command -v timeout >/dev/null 2>&1; then
+    run_or_fail timeout --signal=TERM 1800 python -m pytest -q tests
+else
+    run_or_fail python -m pytest -q tests
+fi
 
 step "repro lint (config presets)"
 for preset in baseline upei graphpim; do
@@ -70,6 +76,33 @@ else
     failures=$((failures + 1))
 fi
 rm -rf "$cache_dir"
+
+step "repro run (fault-injection smoke)"
+fault_cache="$(mktemp -d)/repro_cache"
+# A lossy-link grid must still produce a complete report whose shape
+# carries the resilience fields (failures list, per-job records) and
+# per-workload results.
+if python -m repro run --scale tiny --jobs 2 --cache-dir "$fault_cache" \
+    --faults "ber=1e-6,seed=7" --allow-partial --json \
+    | python -c '
+import json, sys
+report = json.load(sys.stdin)
+runner, workloads = report["runner"], report["workloads"]
+assert isinstance(runner["failures"], list), "missing failures list"
+assert runner["jobs"], "missing job records"
+assert workloads, "no workload reports"
+for code, wl in workloads.items():
+    assert wl["results"]["GraphPIM"]["cycles"] > 0, code
+failed = len(runner["failures"])
+print(f"fault smoke: {len(workloads)} workload(s), {failed} failure(s)")
+'; then
+    echo "fault-injection smoke passed"
+else
+    echo "fault-injection smoke FAILED"
+    failures=$((failures + 1))
+fi
+run_or_fail python -m repro cache --cache-dir "$fault_cache" --verify
+rm -rf "$fault_cache"
 
 echo
 if [ "$failures" -ne 0 ]; then

@@ -6,11 +6,16 @@
     python -m repro run                  # full Figure-7 grid, cached
     python -m repro run --jobs 4 --json  # parallel grid, JSON metrics
     python -m repro run BFS --vertices 2000 --threads 16
+    python -m repro run --faults ber=1e-6,seed=7   # fault injection
+    python -m repro run --resume         # skip checkpointed jobs
     python -m repro cache                # result-cache statistics
     python -m repro cache --clear
+    python -m repro cache --verify       # quarantine corrupt entries
     python -m repro trace DC --vertices 2000 -o dc.npz
     python -m repro simulate dc.npz --mode graphpim
     python -m repro experiment fig07 --scale small
+    python -m repro faults sweep --scale tiny
+    python -m repro faults show ber=1e-6,drop=1e-4
     python -m repro lint dc.npz
     python -m repro lint graphpim
 
@@ -108,6 +113,38 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="grid mode: machine-readable runner report + metrics",
     )
+    run.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="fault-injection plan, e.g. ber=1e-6,drop=1e-4,seed=7 "
+        "(see `repro faults show`)",
+    )
+    run.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="grid mode: per-job wall-clock budget (pool workers only)",
+    )
+    run.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="grid mode: resubmissions of a timed-out job (with "
+        "exponential backoff) before recording a failure",
+    )
+    run.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="grid mode: report failed jobs instead of aborting the grid",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="grid mode: skip jobs checkpointed as completed in the "
+        "cache root's journal (after a killed run)",
+    )
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the persistent result cache"
@@ -119,6 +156,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     cache.add_argument(
         "--clear", action="store_true", help="delete every cached result"
+    )
+    cache.add_argument(
+        "--verify",
+        action="store_true",
+        help="scan all entries; quarantine corrupt or stale ones",
     )
     cache.add_argument(
         "--json", action="store_true", help="machine-readable output"
@@ -143,6 +185,38 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("experiment_id", help="e.g. fig07 or tab03")
     experiment.add_argument(
         "--scale", choices=("tiny", "small", "paper"), default="small"
+    )
+
+    faults = sub.add_parser(
+        "faults", help="fault-injection tools (sweep, spec inspection)"
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+    sweep = faults_sub.add_parser(
+        "sweep",
+        help="speedup vs link bit-error rate (GraphPIM vs baseline)",
+    )
+    sweep.add_argument(
+        "--scale", choices=("tiny", "small", "paper"), default=None
+    )
+    sweep.add_argument(
+        "--bers",
+        default=None,
+        metavar="CSV",
+        help="comma-separated bit-error rates (default 0,1e-7,1e-6,1e-5)",
+    )
+    sweep.add_argument(
+        "--workloads",
+        default=None,
+        metavar="CSV",
+        help="workload codes to sweep (default BFS,DC,PRank)",
+    )
+    sweep.add_argument("--seed", type=int, default=7)
+    show = faults_sub.add_parser(
+        "show", help="parse and describe a fault plan spec"
+    )
+    show.add_argument("spec", help="e.g. ber=1e-6,drop=1e-4,seed=7")
+    show.add_argument(
+        "--json", action="store_true", help="machine-readable output"
     )
 
     lint = sub.add_parser(
@@ -207,16 +281,36 @@ def _make_graph(args):
     return ldbc_like_graph(args.vertices, seed=args.seed, weighted=weighted)
 
 
+def _parse_faults(args):
+    """FaultPlan from ``--faults SPEC``, or None when absent."""
+    if getattr(args, "faults", None) is None:
+        return None
+    from repro.faults import FaultPlan
+
+    return FaultPlan.from_spec(args.faults)
+
+
 def _cmd_run(args) -> int:
     if args.workload is None:
         return _cmd_run_grid(args)
     get_workload(args.workload)  # fail fast on unknown codes
     graph = _make_graph(args)
-    system = GraphPimSystem(num_threads=args.threads)
+    plan = _parse_faults(args)
+    system = GraphPimSystem(
+        config=SystemConfig(faults=plan), num_threads=args.threads
+    )
     report = system.evaluate(
         args.workload, graph, **workload_params(args.workload)
     )
     print(report.summary())
+    if plan is not None:
+        stats = report.results["GraphPIM"].hmc_stats
+        print(
+            f"  faults   : {plan.describe()} — "
+            f"{stats.retransmitted_flits} retransmitted FLIT(s), "
+            f"{stats.reissued_requests} reissued request(s), "
+            f"{stats.fault_stall_cycles:.0f} stall cycle(s)"
+        )
     return 0
 
 
@@ -240,18 +334,25 @@ def _cmd_run_grid(args) -> int:
         jobs=args.jobs,
         parallel=not args.no_parallel,
         cache_dir=_resolve_cache_dir(args),
+        job_timeout_s=args.timeout,
+        job_retries=args.retries,
+        allow_partial=args.allow_partial,
+        resume=args.resume,
     )
 
     def progress(record) -> None:
         print(
             f"  {record.job_id:16s} {record.status:6s} "
             f"sim={record.modes_simulated} hit={record.modes_cached} "
-            f"{record.wall_seconds:6.2f}s",
+            f"{record.wall_seconds:6.2f}s"
+            + (f"  {record.error}" if record.error else ""),
             flush=True,
         )
 
     reports, runner_report = run_evaluation_grid(
-        config, progress=None if args.json else progress
+        config,
+        progress=None if args.json else progress,
+        faults=_parse_faults(args),
     )
     if args.json:
         print(
@@ -277,6 +378,15 @@ def _cmd_run_grid(args) -> int:
             f"{code:10s} {report.baseline.cycles:14.0f} "
             f"{graphpim.cycles:14.0f} {report.speedup():7.2f}x"
         )
+    if runner_report.failures:
+        print()
+        print(f"{len(runner_report.failures)} job(s) FAILED:")
+        for failure in runner_report.failures:
+            print(
+                f"  {failure.job_id:16s} [{failure.kind}] "
+                f"after {failure.attempts} attempt(s): {failure.message}"
+            )
+        return 1
     return 0
 
 
@@ -293,6 +403,19 @@ def _cmd_cache(args) -> int:
             print(json.dumps({"cleared": removed, **cache.info()}))
         else:
             print(f"cleared {removed} cached result(s) from {cache_dir}")
+        return 0
+    if args.verify:
+        outcome = cache.verify()
+        if args.json:
+            print(json.dumps({**outcome, **cache.info()}, indent=2))
+        else:
+            print(
+                f"verified {outcome['checked']} entr(ies): "
+                f"{outcome['ok']} ok, "
+                f"{outcome['quarantined']} quarantined"
+            )
+            if outcome["quarantined"]:
+                print(f"quarantine : {outcome['quarantine_dir']}")
         return 0
     info = cache.info()
     if args.json:
@@ -343,6 +466,33 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    if args.faults_command == "show":
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan.from_spec(args.spec)
+        if args.json:
+            print(json.dumps(plan.to_dict(), indent=2))
+        else:
+            print(plan.describe())
+        return 0
+    # sweep
+    from repro.harness import run_experiment
+
+    kwargs: dict = {"scale": args.scale, "seed": args.seed}
+    if args.bers is not None:
+        kwargs["bers"] = tuple(
+            float(part) for part in args.bers.split(",") if part.strip()
+        )
+    if args.workloads is not None:
+        kwargs["workloads"] = tuple(
+            part.strip() for part in args.workloads.split(",") if part.strip()
+        )
+    result = run_experiment("faultsweep", **kwargs)
+    print(result.render())
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis import (
         describe_rules,
@@ -387,6 +537,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "simulate": _cmd_simulate,
     "experiment": _cmd_experiment,
+    "faults": _cmd_faults,
     "lint": _cmd_lint,
 }
 

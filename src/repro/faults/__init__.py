@@ -1,0 +1,15 @@
+"""Deterministic fault injection for the HMC device model.
+
+Build a :class:`FaultPlan` (or parse one from a CLI spec string), put
+it on :class:`~repro.sim.config.SystemConfig` via the ``faults`` field,
+and the timing simulation injects link bit errors, dropped responses,
+and vault stall windows — reproducibly: the same plan seed always
+yields bit-identical results, and the plan is part of the runner's
+config fingerprint so cached fault-free results are never confused with
+faulty ones.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+
+__all__ = ["FaultInjector", "FaultPlan"]

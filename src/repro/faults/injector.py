@@ -1,0 +1,104 @@
+"""Deterministic realization of a :class:`~repro.faults.plan.FaultPlan`.
+
+The injector owns every random decision the fault model makes, drawn
+from one :class:`numpy.random.Generator` seeded via
+:func:`repro.common.rng.derive_seed`.  The simulation scheduler visits
+events in a deterministic order, so the draw sequence — and therefore
+every injected fault — is bit-identical for a given (trace, config,
+plan) triple, across processes and across serial vs. pool execution.
+
+Time-dependent faults (vault stall windows) use no randomness at all
+beyond a per-vault phase offset fixed at construction, so they too are
+pure functions of the plan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import derive_seed
+from repro.faults.plan import FaultPlan
+from repro.hmc.packets import packet_bits
+
+
+class FaultInjector:
+    """Per-device fault stream realizing one plan against one config."""
+
+    def __init__(self, plan: FaultPlan, num_vaults: int):
+        self.plan = plan
+        self._gen = np.random.Generator(
+            np.random.PCG64(derive_seed(plan.seed, "hmc-faults"))
+        )
+        # Per-vault phase offsets de-synchronize the stall windows so
+        # all vaults never throttle in lockstep (refresh staggering).
+        if plan.vault_stall_period_ns > 0:
+            phase = np.random.Generator(
+                np.random.PCG64(derive_seed(plan.seed, "vault-phase"))
+            )
+            self._stall_phase = phase.random(num_vaults)
+        else:
+            self._stall_phase = np.zeros(num_vaults)
+
+    # ------------------------------------------------------------------
+    # Link bit errors -> retransmissions
+    # ------------------------------------------------------------------
+
+    def _packet_error_probability(self, flits: int, ber: float) -> float:
+        """P(packet CRC fails) for a packet of ``flits`` FLITs."""
+        if ber <= 0.0 or flits <= 0:
+            return 0.0
+        return 1.0 - (1.0 - ber) ** packet_bits(flits)
+
+    def _retransmissions(self, flits: int, ber: float) -> int:
+        """Geometric retransmission count, capped by the plan."""
+        p_err = self._packet_error_probability(flits, ber)
+        if p_err <= 0.0:
+            return 0
+        count = 0
+        while (
+            count < self.plan.max_retransmits
+            and float(self._gen.random()) < p_err
+        ):
+            count += 1
+        return count
+
+    def request_retransmissions(self, flits: int) -> int:
+        """Retries for one request packet (host -> cube direction)."""
+        return self._retransmissions(flits, self.plan.request_ber)
+
+    def response_retransmissions(self, flits: int) -> int:
+        """Retries for one response packet (cube -> host direction)."""
+        return self._retransmissions(flits, self.plan.response_ber)
+
+    # ------------------------------------------------------------------
+    # Dropped / poisoned responses -> POU reissue
+    # ------------------------------------------------------------------
+
+    def response_dropped(self) -> bool:
+        """Whether this transaction's response is lost or poisoned."""
+        if self.plan.drop_rate <= 0.0:
+            return False
+        return float(self._gen.random()) < self.plan.drop_rate
+
+    # ------------------------------------------------------------------
+    # Vault stall windows (refresh / thermal throttling)
+    # ------------------------------------------------------------------
+
+    def vault_stall_delay(
+        self, vault: int, t_cycles: float, cycles_per_ns: float
+    ) -> float:
+        """Extra cycles until ``vault`` can start a row cycle at ``t``.
+
+        The window repeats every ``vault_stall_period_ns`` with a
+        per-vault phase; a request landing inside the window waits for
+        its end.  Pure function of (vault, t) — no stream draws.
+        """
+        period = self.plan.vault_stall_period_ns * cycles_per_ns
+        duration = self.plan.vault_stall_duration_ns * cycles_per_ns
+        if period <= 0.0 or duration <= 0.0:
+            return 0.0
+        phase = float(self._stall_phase[vault]) * period
+        offset = (t_cycles - phase) % period
+        if offset < duration:
+            return duration - offset
+        return 0.0

@@ -79,6 +79,7 @@ def _ensure_loaded() -> None:
     """Import experiment modules for their registration side effects."""
     from repro.harness import (  # noqa: F401
         experiments_eval,
+        experiments_faults,
         experiments_motivation,
         experiments_realworld,
         experiments_sensitivity,

@@ -25,6 +25,10 @@ class HmcConfig:
     link_bandwidth_bytes: float = 120e9
     #: One-way link + SerDes + switch latency, ns.
     link_latency_ns: float = 8.0
+    #: Extra latency of one link-level packet retransmission, ns: the
+    #: NAK round trip plus retry-buffer replay (HMC 2.0 CRC/retry
+    #: protocol).  Only exercised when a fault plan injects bit errors.
+    link_retry_latency_ns: float = 12.0
     #: Vault-controller processing overhead per request, ns.
     vault_overhead_ns: float = 4.0
     tCL_ns: float = 13.75
@@ -84,6 +88,10 @@ class HmcConfig:
     @property
     def vault_overhead(self) -> float:
         return self.cycles(self.vault_overhead_ns)
+
+    @property
+    def link_retry_latency(self) -> float:
+        return self.cycles(self.link_retry_latency_ns)
 
     @property
     def tCL(self) -> float:

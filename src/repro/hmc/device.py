@@ -44,6 +44,10 @@ class HmcStats:
     fu_fp_ops: int = 0
     bank_wait_cycles: float = 0.0
     link_wait_cycles: float = 0.0
+    #: Fault-injection counters (zero in fault-free runs).
+    retransmitted_flits: int = 0
+    reissued_requests: int = 0
+    fault_stall_cycles: float = 0.0
 
     @property
     def total_request_flits(self) -> int:
@@ -74,6 +78,9 @@ class HmcStats:
             "fu_fp_ops": self.fu_fp_ops,
             "bank_wait_cycles": self.bank_wait_cycles,
             "link_wait_cycles": self.link_wait_cycles,
+            "retransmitted_flits": self.retransmitted_flits,
+            "reissued_requests": self.reissued_requests,
+            "fault_stall_cycles": self.fault_stall_cycles,
         }
 
     @classmethod
@@ -94,6 +101,9 @@ class HmcStats:
             fu_fp_ops=data["fu_fp_ops"],
             bank_wait_cycles=data["bank_wait_cycles"],
             link_wait_cycles=data["link_wait_cycles"],
+            retransmitted_flits=data["retransmitted_flits"],
+            reissued_requests=data["reissued_requests"],
+            fault_stall_cycles=data["fault_stall_cycles"],
         )
 
 
@@ -129,11 +139,30 @@ class _LinkLane:
 
 
 class HmcDevice:
-    """One HMC 2.0 cube serving reads, writes, and PIM atomics."""
+    """One HMC 2.0 cube serving reads, writes, and PIM atomics.
 
-    def __init__(self, config: HmcConfig | None = None):
+    ``fault_plan`` (a :class:`~repro.faults.plan.FaultPlan`) enables
+    deterministic fault injection: link bit errors trigger HMC-style
+    packet retransmission (FLITs re-reserved on the lane plus a retry
+    latency), dropped/poisoned responses trigger a POU timeout and a
+    full reissue bounded by the plan's retry budget, and periodic vault
+    stall windows delay row-cycle starts.  All injected faults derive
+    from the plan's seed, so results are bit-identical across runs.
+    """
+
+    def __init__(self, config: HmcConfig | None = None, fault_plan=None):
         self.config = config or HmcConfig()
         cfg = self.config
+        if fault_plan is not None and fault_plan.enabled:
+            from repro.faults.injector import FaultInjector
+
+            self._faults = FaultInjector(fault_plan, cfg.num_vaults)
+            self._reissue_timeout = cfg.cycles(
+                fault_plan.reissue_timeout_ns
+            )
+        else:
+            self._faults = None
+            self._reissue_timeout = 0.0
         self._bank_free = np.zeros(
             (cfg.num_vaults, cfg.banks_per_vault), dtype=np.float64
         )
@@ -167,6 +196,13 @@ class HmcDevice:
 
     def _reserve_req_link(self, t: float, flits: int) -> float:
         end = self._req_lane.reserve(t, flits)
+        if self._faults is not None:
+            end = self._retransmit(
+                self._req_lane,
+                end,
+                flits,
+                self._faults.request_retransmissions(flits),
+            )
         self.stats.link_wait_cycles = (
             self._req_lane.wait_cycles + self._resp_lane.wait_cycles
         )
@@ -174,14 +210,45 @@ class HmcDevice:
 
     def _reserve_resp_link(self, t: float, flits: int) -> float:
         end = self._resp_lane.reserve(t, flits)
+        if self._faults is not None:
+            end = self._retransmit(
+                self._resp_lane,
+                end,
+                flits,
+                self._faults.response_retransmissions(flits),
+            )
         self.stats.link_wait_cycles = (
             self._req_lane.wait_cycles + self._resp_lane.wait_cycles
         )
         return end
 
+    def _retransmit(
+        self, lane: _LinkLane, end: float, flits: int, retries: int
+    ) -> float:
+        """Replay a CRC-failed packet ``retries`` times on ``lane``.
+
+        Each replay waits out the NAK round trip + retry-buffer turn
+        (``link_retry_latency``) and re-reserves the packet's FLITs.
+        """
+        for _ in range(retries):
+            end = lane.reserve(
+                end + self.config.link_retry_latency, flits
+            )
+            self.stats.retransmitted_flits += flits
+        return end
+
     def _reserve_bank(
         self, vault: int, bank: int, t: float, occupancy: float
     ) -> float:
+        if self._faults is not None:
+            # Refresh/thermal stall window: the vault accepts no new
+            # row cycle until the window ends.
+            delay = self._faults.vault_stall_delay(
+                vault, t, self.config.core_ghz
+            )
+            if delay > 0.0:
+                self.stats.fault_stall_cycles += delay
+                t += delay
         start = max(t, float(self._bank_free[vault, bank]))
         self.stats.bank_wait_cycles += start - t
         self._bank_free[vault, bank] = start + occupancy
@@ -201,7 +268,26 @@ class HmcDevice:
         """64-byte READ (cache-line fill or uncacheable load).
 
         Returns the cycle at which data arrives back at the host.
+        Under a fault plan, a dropped response costs a POU timeout and
+        a full reissue (the failed attempt's resource occupancy stays
+        charged), bounded by the plan's retry budget.
         """
+        attempts = 0
+        while True:
+            completion = self._read_once(addr, t)
+            if self._faults is None or not self._faults.response_dropped():
+                return completion
+            attempts += 1
+            self.stats.reissued_requests += 1
+            if attempts > self._faults.plan.retry_budget:
+                raise SimulationError(
+                    f"READ at {addr:#x}: response lost {attempts} "
+                    f"time(s); retry budget "
+                    f"({self._faults.plan.retry_budget}) exhausted"
+                )
+            t = completion + self._reissue_timeout
+
+    def _read_once(self, addr: int, t: float) -> float:
         cfg = self.config
         kind = TransactionKind.READ_64
         req_flits, resp_flits = flits_for(kind)
@@ -252,7 +338,32 @@ class HmcDevice:
         ``(completion_time, has_response_data)``; when no data returns,
         ``completion_time`` is still when the (1-FLIT) acknowledgement
         would arrive, which posted requests do not wait for.
+
+        Under a fault plan, a dropped/poisoned response triggers a POU
+        timeout and a full reissue of the atomic, bounded by the plan's
+        retry budget; every attempt's bank/FU/link occupancy stays
+        charged, since the cube really executed it.
         """
+        attempts = 0
+        while True:
+            completion, has_data = self._pim_atomic_once(
+                command, addr, t, host_consumes
+            )
+            if self._faults is None or not self._faults.response_dropped():
+                return completion, has_data
+            attempts += 1
+            self.stats.reissued_requests += 1
+            if attempts > self._faults.plan.retry_budget:
+                raise SimulationError(
+                    f"{command.value} at {addr:#x}: response lost "
+                    f"{attempts} time(s); retry budget "
+                    f"({self._faults.plan.retry_budget}) exhausted"
+                )
+            t = completion + self._reissue_timeout
+
+    def _pim_atomic_once(
+        self, command: HmcCommand, addr: int, t: float, host_consumes: bool
+    ) -> tuple[float, bool]:
         cfg = self.config
         is_fp = command in FP_COMMANDS
         if is_fp and cfg.fp_fus_per_vault == 0:

@@ -16,6 +16,16 @@ from repro.common.errors import ConfigError
 from repro.hmc.commands import HmcCommand, command_returns
 
 
+#: Bits per FLIT (HMC links move 128-bit FLITs).  The fault model's
+#: packet-error probability is computed over this many bits per FLIT.
+FLIT_BITS = 128
+
+
+def packet_bits(flits: int) -> int:
+    """Link bits covered by one packet's CRC (``flits`` x 128)."""
+    return flits * FLIT_BITS
+
+
 class TransactionKind(Enum):
     """Link transaction classes with distinct FLIT costs (Table V)."""
 

@@ -18,7 +18,12 @@ Entry points:
 - :class:`ResultCache` — cache inspection/maintenance (``repro cache``).
 """
 
-from repro.runner.cache import CACHE_LAYOUT_VERSION, ResultCache
+from repro.faults import FaultPlan
+from repro.runner.cache import (
+    CACHE_LAYOUT_VERSION,
+    CheckpointJournal,
+    ResultCache,
+)
 from repro.runner.engine import (
     ExperimentRunner,
     GridResults,
@@ -34,11 +39,13 @@ from repro.runner.fingerprint import (
     CODE_VERSION,
     config_fingerprint,
     result_key,
+    spec_key,
     trace_digest,
 )
 from repro.runner.spec import (
     DEFAULT_CACHE_DIR,
     ExperimentSpec,
+    JobFailure,
     JobRecord,
     RunnerConfig,
     RunnerReport,
@@ -46,11 +53,14 @@ from repro.runner.spec import (
 
 __all__ = [
     "CACHE_LAYOUT_VERSION",
+    "CheckpointJournal",
     "CODE_VERSION",
     "DEFAULT_CACHE_DIR",
     "ExperimentRunner",
     "ExperimentSpec",
+    "FaultPlan",
     "GridResults",
+    "JobFailure",
     "JobRecord",
     "ResultCache",
     "RunnerConfig",
@@ -62,6 +72,7 @@ __all__ = [
     "motivation_extra_specs",
     "plain_atomics_specs",
     "result_key",
+    "spec_key",
     "run_evaluation_grid",
     "run_full_grid",
     "trace_digest",

@@ -1,9 +1,11 @@
-"""Persistent, content-addressed result cache.
+"""Persistent, content-addressed result cache + checkpoint journal.
 
 Layout under the cache root (default ``.repro_cache/``)::
 
     .repro_cache/
         objects/<sha256>.json     one SimResult payload per key
+        objects/quarantine/       corrupt entries moved by verify()
+        journal.jsonl             completed-spec checkpoint journal
         VERSION                   cache layout version marker
 
 Keys are computed by :mod:`repro.runner.fingerprint` from the trace
@@ -11,7 +13,12 @@ digest, the config fingerprint, and the code-version salt, so a key can
 never refer to two different results — writes need no locking beyond
 atomic rename, and concurrent runner workers sharing a cache directory
 are safe.  Corrupt or unreadable entries are treated as misses and
-overwritten.
+overwritten; :meth:`ResultCache.verify` additionally quarantines them
+so they can be inspected instead of silently regenerated forever.
+
+The :class:`CheckpointJournal` is an append-only record of completed
+:class:`~repro.runner.spec.ExperimentSpec` keys; ``repro run --resume``
+reads it to skip work a killed run already finished.
 """
 
 from __future__ import annotations
@@ -98,7 +105,12 @@ class ResultCache:
         return sum(p.stat().st_size for p in self._objects.glob("*.json"))
 
     def clear(self) -> int:
-        """Delete every cached object; returns how many were removed."""
+        """Delete every cached object; returns how many were removed.
+
+        The checkpoint journal is cleared too — its entries promise
+        "this spec's results are available", which deleting the objects
+        breaks.
+        """
         removed = 0
         if self._objects.is_dir():
             for path in self._objects.glob("*.json"):
@@ -107,7 +119,50 @@ class ResultCache:
                     removed += 1
                 except OSError:
                     pass
+        CheckpointJournal(self.root).clear()
         return removed
+
+    def verify(self) -> dict:
+        """Scan every object; quarantine corrupt or stale entries.
+
+        An entry is healthy when it parses as JSON *and* rebuilds into
+        a :class:`~repro.sim.system.SimResult` (which checks the payload
+        schema version).  Unhealthy entries are moved to
+        ``objects/quarantine/`` — unlike the silent miss-at-read-time
+        path, this surfaces corruption and keeps the bad bytes around
+        for inspection.  Returns ``{"checked", "ok", "quarantined",
+        "quarantine_dir"}``.
+        """
+        from repro.common.errors import ReproError
+        from repro.sim.system import SimResult
+
+        quarantine = self._objects / "quarantine"
+        checked = ok = moved = 0
+        if self._objects.is_dir():
+            for path in sorted(self._objects.glob("*.json")):
+                checked += 1
+                try:
+                    with open(path, encoding="utf-8") as handle:
+                        SimResult.from_dict(json.load(handle))
+                except (
+                    OSError,
+                    json.JSONDecodeError,
+                    ReproError,
+                    KeyError,
+                    TypeError,
+                    ValueError,
+                ):
+                    quarantine.mkdir(parents=True, exist_ok=True)
+                    os.replace(path, quarantine / path.name)
+                    moved += 1
+                else:
+                    ok += 1
+        return {
+            "checked": checked,
+            "ok": ok,
+            "quarantined": moved,
+            "quarantine_dir": str(quarantine),
+        }
 
     def info(self) -> dict:
         """Summary mapping for `repro cache --json`."""
@@ -120,3 +175,55 @@ class ResultCache:
 
     def __repr__(self) -> str:
         return f"ResultCache(root={str(self.root)!r})"
+
+
+class CheckpointJournal:
+    """Append-only completed-spec journal under the cache root.
+
+    One JSON line per completed spec: ``{"spec": <spec_key>, "job_id":
+    <human id>}``.  Appends are O_APPEND single-write operations, so a
+    kill mid-write leaves at most one truncated final line, which
+    :meth:`completed` skips — every intact line still counts, which is
+    exactly the resume semantics we want.
+    """
+
+    FILENAME = "journal.jsonl"
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.path = self.root / self.FILENAME
+
+    def completed(self) -> "set[str]":
+        """Spec keys recorded as completed (corrupt lines ignored)."""
+        keys: set[str] = set()
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                        keys.add(entry["spec"])
+                    except (json.JSONDecodeError, KeyError, TypeError):
+                        continue  # torn write from a killed run
+        except OSError:
+            return set()
+        return keys
+
+    def mark(self, spec_key: str, job_id: str = "") -> None:
+        """Record one completed spec (idempotent across runs)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        line = json.dumps({"spec": spec_key, "job_id": job_id})
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+
+    def clear(self) -> None:
+        """Forget every checkpoint."""
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def __repr__(self) -> str:
+        return f"CheckpointJournal(path={str(self.path)!r})"

@@ -16,12 +16,25 @@ downstream experiments can re-simulate the trace under swept configs.
 If the worker pool breaks (a worker segfaults or is OOM-killed), the
 engine transparently re-runs the affected jobs in-process and flags the
 fallback in the :class:`RunnerReport` instead of failing the grid.
+
+Resilience features ride on :class:`RunnerConfig`:
+
+- ``job_timeout_s`` — pool jobs that exceed their wall-clock budget are
+  abandoned and retried with exponential backoff (``job_retries``,
+  ``backoff_base_s``, ``backoff_factor``); the clock and sleep used for
+  the schedule are injectable for tests.
+- ``allow_partial`` — failed jobs become structured
+  :class:`~repro.runner.spec.JobFailure` records on the report and the
+  grid returns the surviving outcomes instead of raising.
+- ``resume`` — completed specs are checkpointed in the cache root's
+  journal; a resumed grid re-runs only the incomplete ones.
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -30,10 +43,15 @@ import repro.workloads  # noqa: F401  (registry side effects for workers)
 from repro.common.errors import ReproError, RunnerError
 from repro.core.api import EvaluationReport
 from repro.core.presets import workload_graph, workload_params
-from repro.runner.cache import ResultCache
-from repro.runner.fingerprint import config_fingerprint, result_key
+from repro.runner.cache import CheckpointJournal, ResultCache
+from repro.runner.fingerprint import (
+    config_fingerprint,
+    result_key,
+    spec_key,
+)
 from repro.runner.spec import (
     ExperimentSpec,
+    JobFailure,
     JobRecord,
     RunnerConfig,
     RunnerReport,
@@ -137,10 +155,25 @@ def _make_executor(max_workers: int) -> ProcessPoolExecutor:
 
 
 class ExperimentRunner:
-    """Executes a grid of specs under one :class:`RunnerConfig`."""
+    """Executes a grid of specs under one :class:`RunnerConfig`.
 
-    def __init__(self, config: Optional[RunnerConfig] = None):
+    ``clock`` and ``sleep`` default to the real monotonic clock and
+    :func:`time.sleep`; tests inject fakes to verify the timeout and
+    backoff schedules without waiting them out.
+    """
+
+    def __init__(
+        self,
+        config: Optional[RunnerConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
         self.config = config or RunnerConfig()
+        self._clock = clock
+        self._sleep = sleep
+        self._journal: Optional[CheckpointJournal] = None
+        self._spec_keys: "list[str]" = []
+        self._failures: "list[JobFailure]" = []
 
     def run(
         self,
@@ -149,11 +182,16 @@ class ExperimentRunner:
     ) -> "tuple[list[SpecOutcome], RunnerReport]":
         """Execute every spec; outcomes are returned in spec order.
 
-        Raises :class:`RunnerError` after the grid drains if any job
-        failed with a real error (pool breakage alone is not a failure —
-        affected jobs are re-run in-process).
+        After the grid drains, jobs that failed (deterministic errors,
+        exhausted timeout retries) raise :class:`RunnerError` unless
+        ``allow_partial`` is set, in which case the surviving outcomes
+        are returned and the report carries one
+        :class:`~repro.runner.spec.JobFailure` per lost job.  Pool
+        breakage alone is never a failure — affected jobs are re-run
+        in-process.  With ``resume``, specs whose key appears in the
+        cache root's checkpoint journal are skipped entirely.
         """
-        started = time.perf_counter()
+        started = self._clock()
         records = [
             JobRecord(
                 job_id=spec.job_id,
@@ -163,9 +201,19 @@ class ExperimentRunner:
             )
             for spec in specs
         ]
+        self._failures = []
+        self._spec_keys = [
+            spec_key(spec, self.config.cache_salt) for spec in specs
+        ]
+        self._journal = (
+            CheckpointJournal(self.config.cache_dir)
+            if self.config.cache_dir is not None
+            else None
+        )
+        pending = self._resolve_pending(specs, records)
         use_pool = (
             self.config.parallel
-            and len(specs) > 1
+            and len(pending) > 1
             and self.config.resolved_jobs() > 1
         )
         report = RunnerReport(
@@ -175,7 +223,9 @@ class ExperimentRunner:
         )
         outcomes: list[Optional[SpecOutcome]] = [None] * len(specs)
         if use_pool:
-            retry = self._run_pool(specs, records, outcomes, progress)
+            retry = self._run_pool(
+                specs, records, outcomes, progress, pending
+            )
             if retry:
                 report.fell_back = True
                 for index in retry:
@@ -184,21 +234,45 @@ class ExperimentRunner:
                         executor="fallback",
                     )
         else:
-            for index in range(len(specs)):
+            for index in pending:
                 self._run_inline(
                     specs, records, outcomes, index, progress,
                     executor="inline",
                 )
-        report.wall_seconds = time.perf_counter() - started
-        failed = [record for record in records if record.status == "failed"]
-        if failed:
+        report.wall_seconds = self._clock() - started
+        report.failures = list(self._failures)
+        if report.failures and not self.config.allow_partial:
             details = "; ".join(
-                f"{record.job_id}: {record.error}" for record in failed
+                f"{failure.job_id}: [{failure.kind}] {failure.message}"
+                for failure in report.failures
             )
             raise RunnerError(
-                f"{len(failed)} of {len(specs)} job(s) failed — {details}"
+                f"{len(report.failures)} of {len(specs)} job(s) failed — "
+                f"{details}"
             )
         return [outcome for outcome in outcomes if outcome is not None], report
+
+    def _resolve_pending(
+        self,
+        specs: "list[ExperimentSpec]",
+        records: "list[JobRecord]",
+    ) -> "list[int]":
+        """Indexes to execute; resumed-complete specs become skips."""
+        if not self.config.resume:
+            return list(range(len(specs)))
+        if self._journal is None:
+            raise RunnerError(
+                "resume requires a cache directory (the checkpoint "
+                "journal lives in the cache root)"
+            )
+        completed = self._journal.completed()
+        pending: list[int] = []
+        for index in range(len(specs)):
+            if self._spec_keys[index] in completed:
+                records[index].status = "skipped"
+            else:
+                pending.append(index)
+        return pending
 
     # ------------------------------------------------------------------
     # Execution paths
@@ -210,19 +284,20 @@ class ExperimentRunner:
         records: "list[JobRecord]",
         outcomes: "list[Optional[SpecOutcome]]",
         progress: Optional[ProgressFn],
+        pending: "list[int]",
     ) -> "list[int]":
         """Fan out over a process pool; returns indexes needing retry."""
         retry: list[int] = []
         try:
             executor = _make_executor(self.config.resolved_jobs())
         except OSError:
-            return list(range(len(specs)))
+            return list(pending)
         with executor:
             futures = {}
-            for index, spec in enumerate(specs):
+            for index in pending:
                 try:
                     future = executor.submit(
-                        execute_spec, spec, self.config
+                        execute_spec, specs[index], self.config
                     )
                 except (BrokenProcessPool, RuntimeError, OSError):
                     retry.append(index)
@@ -231,27 +306,102 @@ class ExperimentRunner:
                 records[index].status = "running"
                 records[index].executor = "worker"
             for future, index in futures.items():
-                record = records[index]
-                try:
-                    payload = future.result()
-                except BrokenProcessPool:
+                if self._await_future(
+                    executor, future, index, specs, records, outcomes,
+                    progress,
+                ):
                     retry.append(index)
-                    record.status = "queued"
-                    continue
-                except OSError:
-                    retry.append(index)
-                    record.status = "queued"
-                    continue
-                except ReproError as error:
-                    record.status = "failed"
-                    record.error = str(error)
-                    if progress is not None:
-                        progress(record)
-                    continue
-                self._finish(record, payload, specs[index], outcomes, index)
-                if progress is not None:
-                    progress(record)
+            if any(f.kind == "timeout" for f in self._failures):
+                # Workers may still be grinding abandoned jobs; kill
+                # them so pool shutdown (and CI) cannot wedge on a hung
+                # simulation.
+                for proc in list(
+                    getattr(executor, "_processes", {}).values()
+                ):
+                    proc.terminate()
         return retry
+
+    def _await_future(
+        self,
+        executor,
+        future,
+        index: int,
+        specs: "list[ExperimentSpec]",
+        records: "list[JobRecord]",
+        outcomes: "list[Optional[SpecOutcome]]",
+        progress: Optional[ProgressFn],
+    ) -> bool:
+        """Collect one pool job, enforcing the per-job deadline.
+
+        A timed-out job is resubmitted up to ``job_retries`` times with
+        exponential backoff; exhausting the budget records a structured
+        timeout failure.  Returns True when the pool broke and the job
+        must be re-run in-process instead.
+        """
+        config = self.config
+        record = records[index]
+        delay = config.backoff_base_s
+        while True:
+            record.attempts += 1
+            try:
+                if config.job_timeout_s is None:
+                    payload = future.result()
+                else:
+                    payload = future.result(
+                        timeout=config.job_timeout_s
+                    )
+            except FuturesTimeoutError:
+                future.cancel()
+                if record.attempts > config.job_retries:
+                    self._fail(
+                        record,
+                        "timeout",
+                        f"timed out after {config.job_timeout_s}s "
+                        f"(attempt {record.attempts})",
+                        progress,
+                    )
+                    return False
+                self._sleep(delay)
+                delay *= config.backoff_factor
+                try:
+                    future = executor.submit(
+                        execute_spec, specs[index], self.config
+                    )
+                except (BrokenProcessPool, RuntimeError, OSError):
+                    record.status = "queued"
+                    return True
+                continue
+            except (BrokenProcessPool, OSError):
+                record.status = "queued"
+                return True
+            except ReproError as error:
+                self._fail(record, "error", str(error), progress)
+                return False
+            self._finish(record, payload, specs[index], outcomes, index)
+            if progress is not None:
+                progress(record)
+            return False
+
+    def _fail(
+        self,
+        record: JobRecord,
+        kind: str,
+        message: str,
+        progress: Optional[ProgressFn],
+    ) -> None:
+        """Record one lost job as a structured failure."""
+        record.status = "failed"
+        record.error = message
+        self._failures.append(
+            JobFailure(
+                job_id=record.job_id,
+                kind=kind,
+                message=message,
+                attempts=max(record.attempts, 1),
+            )
+        )
+        if progress is not None:
+            progress(record)
 
     def _run_inline(
         self,
@@ -265,13 +415,16 @@ class ExperimentRunner:
         record = records[index]
         record.status = "running"
         record.executor = executor
+        record.attempts += 1
         try:
             payload = execute_spec(specs[index], self.config)
         except ReproError as error:
-            record.status = "failed"
-            record.error = str(error)
-            if progress is not None:
-                progress(record)
+            self._fail(record, "error", str(error), progress)
+            return
+        except OSError as error:
+            # Environment trouble (unwritable cache, fd exhaustion)
+            # rather than a deterministic modeling error.
+            self._fail(record, "crash", str(error), progress)
             return
         self._finish(record, payload, specs[index], outcomes, index)
         if progress is not None:
@@ -300,6 +453,9 @@ class ExperimentRunner:
             1 for cached in outcome.cached.values() if cached
         )
         record.modes_simulated = record.modes_total - record.modes_cached
+        if self._journal is not None:
+            # Checkpoint for --resume: this spec never needs to re-run.
+            self._journal.mark(self._spec_keys[index], record.job_id)
 
 
 # ----------------------------------------------------------------------
@@ -307,9 +463,15 @@ class ExperimentRunner:
 # ----------------------------------------------------------------------
 
 
-def evaluation_grid_specs(scale: str) -> "list[ExperimentSpec]":
-    """Figure 7 workloads x (Baseline / U-PEI / GraphPIM)."""
-    trio = SystemConfig().evaluation_trio()
+def evaluation_grid_specs(
+    scale: str, faults=None
+) -> "list[ExperimentSpec]":
+    """Figure 7 workloads x (Baseline / U-PEI / GraphPIM).
+
+    ``faults`` (a :class:`~repro.faults.plan.FaultPlan`) applies the
+    same fault-injection plan to every mode of every spec.
+    """
+    trio = SystemConfig(faults=faults).evaluation_trio()
     return [
         ExperimentSpec.for_workload(
             code, scale, modes=trio, params=workload_params(code)
@@ -362,11 +524,17 @@ class GridResults:
 def run_evaluation_grid(
     config: Optional[RunnerConfig] = None,
     progress: Optional[ProgressFn] = None,
+    faults=None,
 ) -> "tuple[dict[str, EvaluationReport], RunnerReport]":
-    """Execute the Figure 7 evaluation grid under ``config``."""
+    """Execute the Figure 7 evaluation grid under ``config``.
+
+    With ``allow_partial`` (or ``resume``) the returned mapping covers
+    only the jobs that produced results; the report's ``failures`` and
+    ``jobs`` records account for the rest.
+    """
     config = config or RunnerConfig()
     scale = config.resolved_scale()
-    specs = evaluation_grid_specs(scale)
+    specs = evaluation_grid_specs(scale, faults=faults)
     outcomes, report = ExperimentRunner(config).run(specs, progress)
     return {
         outcome.spec.workload: outcome.report() for outcome in outcomes

@@ -27,7 +27,8 @@ from repro.trace.io import trace_digest
 #: timing model, trace encoding, or workload execution can alter
 #: simulation output — all previously cached results then miss and are
 #: regenerated instead of silently serving stale numbers.
-CODE_VERSION = "graphpim-sim-v1"
+#: v2: fault-injection hooks in the HMC device + HmcStats counters.
+CODE_VERSION = "graphpim-sim-v2"
 
 
 def config_fingerprint(config: SystemConfig) -> str:
@@ -44,9 +45,33 @@ def result_key(
     return hashlib.sha256(combined.encode()).hexdigest()
 
 
+def spec_key(spec, salt: str = CODE_VERSION) -> str:
+    """Stable identity of one :class:`ExperimentSpec` + code version.
+
+    The checkpoint journal records these after a spec completes, so
+    ``--resume`` can skip exactly the specs whose *content* already ran
+    — two grids naming the same (workload, scale, params, modes) agree
+    on the key regardless of spec order or process.
+    """
+    canonical = json.dumps(
+        {
+            "workload": spec.workload,
+            "scale": spec.scale,
+            "num_threads": spec.num_threads,
+            "plain_atomics": spec.plain_atomics,
+            "params": list(spec.params),
+            "modes": [config_fingerprint(mode) for mode in spec.modes],
+            "salt": salt,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
 __all__ = [
     "CODE_VERSION",
     "config_fingerprint",
     "result_key",
+    "spec_key",
     "trace_digest",
 ]

@@ -50,6 +50,27 @@ class RunnerConfig:
         Code-version component of every cache key.  Defaults to
         :data:`~repro.runner.fingerprint.CODE_VERSION`; override to
         segregate (or deliberately invalidate) cache populations.
+    job_timeout_s:
+        Per-job wall-clock budget in pool mode; a worker that exceeds
+        it is abandoned and the job is retried (up to ``job_retries``)
+        or recorded as a timeout failure.  None disables the deadline.
+        In-process execution cannot be preempted, so the timeout only
+        applies to pool jobs.
+    job_retries:
+        How many times a timed-out job is resubmitted before being
+        recorded as failed.  Deterministic errors (bad spec, simulation
+        errors) are never retried — rerunning them cannot help.
+    backoff_base_s / backoff_factor:
+        Exponential-backoff schedule between retry attempts: the n-th
+        retry sleeps ``backoff_base_s * backoff_factor**(n-1)``.
+    allow_partial:
+        When True, a grid with failed jobs returns the surviving
+        outcomes plus structured :class:`JobFailure` records instead of
+        raising :class:`~repro.common.errors.RunnerError`.
+    resume:
+        Skip specs recorded as completed in the cache root's checkpoint
+        journal (``repro run --resume``): after a killed run, only the
+        remaining specs execute.  Requires ``cache_dir``.
     """
 
     scale: Optional[str] = None
@@ -58,6 +79,12 @@ class RunnerConfig:
     parallel: bool = True
     cache_dir: Optional[str] = DEFAULT_CACHE_DIR
     cache_salt: str = CODE_VERSION
+    job_timeout_s: Optional[float] = None
+    job_retries: int = 0
+    backoff_base_s: float = 0.5
+    backoff_factor: float = 2.0
+    allow_partial: bool = False
+    resume: bool = False
 
     def resolved_jobs(self) -> int:
         """Effective worker count (>= 1)."""
@@ -123,6 +150,29 @@ class ExperimentSpec:
         return f"{self.workload}@{self.scale}{suffix}"
 
 
+@dataclass(frozen=True)
+class JobFailure:
+    """Structured description of one job that did not produce results.
+
+    ``kind`` is one of ``"timeout"`` (wall-clock budget exceeded),
+    ``"crash"`` (the worker process died), or ``"error"`` (the job
+    raised a deterministic :class:`~repro.common.errors.ReproError`).
+    """
+
+    job_id: str
+    kind: str
+    message: str = ""
+    attempts: int = 1
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
+
+
 @dataclass
 class JobRecord:
     """Structured progress for one spec (``repro run`` output rows)."""
@@ -130,7 +180,7 @@ class JobRecord:
     job_id: str
     workload: str
     scale: str
-    status: str = "queued"  # queued | running | done | failed
+    status: str = "queued"  # queued | running | done | failed | skipped
     #: Where the job executed: "worker", "inline", or "fallback"
     #: (re-run in-process after its worker died).
     executor: str = ""
@@ -139,6 +189,8 @@ class JobRecord:
     modes_simulated: int = 0
     wall_seconds: float = 0.0
     error: str = ""
+    #: Execution attempts consumed (retries included); 0 when skipped.
+    attempts: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -152,6 +204,7 @@ class JobRecord:
             "modes_simulated": self.modes_simulated,
             "wall_seconds": self.wall_seconds,
             "error": self.error,
+            "attempts": self.attempts,
         }
 
 
@@ -165,6 +218,8 @@ class RunnerReport:
     worker_count: int = 1
     #: True when the process pool broke and jobs were re-run in-process.
     fell_back: bool = False
+    #: Structured outcomes for every job that produced no results.
+    failures: list[JobFailure] = field(default_factory=list)
 
     @property
     def jobs_total(self) -> int:
@@ -173,6 +228,11 @@ class RunnerReport:
     @property
     def jobs_failed(self) -> int:
         return sum(1 for job in self.jobs if job.status == "failed")
+
+    @property
+    def jobs_skipped(self) -> int:
+        """Jobs the checkpoint journal marked as already completed."""
+        return sum(1 for job in self.jobs if job.status == "skipped")
 
     @property
     def simulations(self) -> int:
@@ -194,8 +254,10 @@ class RunnerReport:
             "parallel": self.parallel,
             "worker_count": self.worker_count,
             "fell_back": self.fell_back,
+            "failures": [failure.to_dict() for failure in self.failures],
             "jobs_total": self.jobs_total,
             "jobs_failed": self.jobs_failed,
+            "jobs_skipped": self.jobs_skipped,
             "simulations": self.simulations,
             "cache_hits": self.cache_hits,
             "all_cached": self.all_cached,
@@ -213,6 +275,16 @@ class RunnerReport:
             f"{self.wall_seconds:.1f}s — {self.simulations} simulation(s), "
             f"{self.cache_hits} cache hit(s)"
             + (", ALL CACHED" if self.all_cached else "")
+            + (
+                f", {self.jobs_skipped} skipped (resume)"
+                if self.jobs_skipped
+                else ""
+            )
+            + (
+                f", {len(self.failures)} FAILED"
+                if self.failures
+                else ""
+            )
         ]
         for job in self.jobs:
             line = (

@@ -24,6 +24,7 @@ from enum import Enum
 from repro.common.errors import ConfigError
 from repro.common.units import KB
 from repro.dram.device import DdrConfig
+from repro.faults.plan import FaultPlan
 from repro.hmc.config import HmcConfig
 from repro.sim.cache import CacheConfig
 
@@ -76,6 +77,11 @@ class SystemConfig:
     #: Optional next-line prefetcher at the LLC (Section II-C argues it
     #: cannot help irregular property access — the ablation verifies).
     prefetch_next_line: bool = False
+    #: Optional deterministic fault-injection plan for the HMC device
+    #: (link bit errors, dropped responses, vault stall windows).  None
+    #: means a fault-free memory system.  Part of the config
+    #: fingerprint, so cached results are segregated per plan.
+    faults: FaultPlan | None = None
     #: Fixed in-core cost of a host atomic: pipeline freeze and
     #: write-buffer drain beyond the dynamic drain wait (Section II-D).
     atomic_freeze_cycles: float = 40.0
@@ -130,6 +136,9 @@ class SystemConfig:
             "dram": self.dram.to_dict() if self.dram is not None else None,
             "property_hmc_fraction": self.property_hmc_fraction,
             "prefetch_next_line": self.prefetch_next_line,
+            "faults": (
+                self.faults.to_dict() if self.faults is not None else None
+            ),
             "atomic_freeze_cycles": self.atomic_freeze_cycles,
             "fp_atomic_extra_cycles": self.fp_atomic_extra_cycles,
             "upei_host_op_cycles": self.upei_host_op_cycles,
@@ -150,6 +159,8 @@ class SystemConfig:
         kwargs["hmc"] = HmcConfig.from_dict(kwargs["hmc"])
         if kwargs["dram"] is not None:
             kwargs["dram"] = DdrConfig.from_dict(kwargs["dram"])
+        if kwargs.get("faults") is not None:
+            kwargs["faults"] = FaultPlan.from_dict(kwargs["faults"])
         return cls(**kwargs)
 
     # ------------------------------------------------------------------
@@ -179,6 +190,10 @@ class SystemConfig:
     def with_hmc(self, hmc: HmcConfig) -> "SystemConfig":
         """Copy with a different HMC configuration (sweeps)."""
         return replace(self, hmc=hmc)
+
+    def with_faults(self, faults: FaultPlan | None) -> "SystemConfig":
+        """Copy with a fault-injection plan (None = fault-free)."""
+        return replace(self, faults=faults)
 
     def evaluation_trio(self) -> "list[SystemConfig]":
         """Baseline / U-PEI / GraphPIM sharing this config's parameters."""

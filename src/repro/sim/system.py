@@ -23,7 +23,8 @@ from repro.trace.stream import Trace
 #: Version of the :meth:`SimResult.to_dict` payload layout.  Bump when
 #: fields are added/renamed so stale cache entries and cross-process
 #: payloads are rejected instead of silently misread.
-RESULT_SCHEMA_VERSION = 1
+#: v2: HmcStats fault counters + SystemConfig.faults.
+RESULT_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -209,7 +210,7 @@ def simulate(trace: Trace, config: SystemConfig) -> SimResult:
         config.l3,
         prefetch_next_line=config.prefetch_next_line,
     )
-    hmc = HmcDevice(config.hmc)
+    hmc = HmcDevice(config.hmc, fault_plan=config.faults)
     dram = DdrDevice(config.dram) if config.dram is not None else None
     memory = MemorySystem(hmc, dram, config.property_hmc_fraction)
     cores = [

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import zipfile
 
 import numpy as np
 
@@ -113,19 +114,32 @@ def load_trace(path: str | os.PathLike, validate: bool = True) -> Trace:
     tools (``repro lint``) can load a malformed trace and report *what*
     is wrong instead of dying on the first inconsistency.
     """
-    with np.load(path, allow_pickle=False) as bundle:
-        version = int(bundle["version"][0])
-        if version != _FORMAT_VERSION:
-            raise TraceError(
-                f"unsupported trace format version {version} "
-                f"(expected {_FORMAT_VERSION})"
-            )
-        name = str(bundle["name"][0])
-        thread_ids = bundle["thread_ids"].tolist()
-        threads = [
-            _decode_thread(tid, bundle[f"thread_{tid}"])
-            for tid in thread_ids
-        ]
+    try:
+        with np.load(path, allow_pickle=False) as bundle:
+            version = int(bundle["version"][0])
+            if version != _FORMAT_VERSION:
+                raise TraceError(
+                    f"unsupported trace format version {version} "
+                    f"(expected {_FORMAT_VERSION})"
+                )
+            name = str(bundle["name"][0])
+            thread_ids = bundle["thread_ids"].tolist()
+            threads = [
+                _decode_thread(tid, bundle[f"thread_{tid}"])
+                for tid in thread_ids
+            ]
+    except FileNotFoundError:
+        raise
+    except TraceError as error:
+        raise TraceError(f"{os.fspath(path)}: {error}") from None
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile) as error:
+        # np.load raises a grab-bag depending on *how* the file is bad
+        # (truncated zip, missing member, non-npz bytes); normalize to
+        # TraceError so callers have one failure mode, and keep the
+        # path — np's own messages often omit it.
+        raise TraceError(
+            f"{os.fspath(path)}: not a readable trace bundle ({error})"
+        ) from error
     trace = Trace(threads, name=name)
     if validate:
         trace.validate_barriers()

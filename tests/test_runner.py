@@ -1,13 +1,17 @@
 """Tests for the parallel experiment runner and its result cache.
 
-Covers the ISSUE 2 acceptance surface: cache hit/miss behavior under
+Covers the ISSUE 2 acceptance surface (cache hit/miss behavior under
 config and salt changes, parallel-vs-serial bit-identical results,
 worker-crash fallback, the suite-API deprecation shims, and the
-serialization round-trips the cache and worker IPC rely on.
+serialization round-trips the cache and worker IPC rely on) plus the
+ISSUE 3 resilience surface: per-job timeouts with exponential backoff,
+structured failures under ``allow_partial``, checkpoint/resume, and
+cache verification with quarantine.
 """
 
 import dataclasses
 import json
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 
 import pytest
@@ -16,6 +20,7 @@ import repro.runner.engine as engine_module
 from repro.common.errors import RunnerError, SimulationError
 from repro.core.api import EvaluationReport, GraphPimSystem
 from repro.runner import (
+    CheckpointJournal,
     ExperimentRunner,
     ExperimentSpec,
     ResultCache,
@@ -24,6 +29,7 @@ from repro.runner import (
     execute_spec,
     result_key,
     run_evaluation_grid,
+    spec_key,
     trace_digest,
 )
 from repro.sim.config import SystemConfig
@@ -230,6 +236,244 @@ class TestRunnerExecution:
         )
         outcomes, _report = ExperimentRunner(config).run([exempt])
         assert outcomes[0].results["Baseline"].cycles > 0
+
+
+# ----------------------------------------------------------------------
+# Resilience: timeouts, backoff, structured failures, resume
+# ----------------------------------------------------------------------
+
+
+class _TimeoutFuture:
+    """A pool future whose job never finishes within its deadline."""
+
+    def result(self, timeout=None):
+        raise FuturesTimeoutError()
+
+    def cancel(self):
+        return False
+
+
+class _EagerFuture:
+    """A pool future that runs the job synchronously at collection."""
+
+    def __init__(self, spec, config):
+        self._spec, self._config = spec, config
+
+    def result(self, timeout=None):
+        return execute_spec(self._spec, self._config)
+
+    def cancel(self):
+        return False
+
+
+class _FakeExecutor:
+    """Times out the first ``flaky_attempts`` submissions of each spec."""
+
+    def __init__(self, flaky_attempts):
+        self.flaky_attempts = flaky_attempts
+        self.submissions = {}
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def submit(self, fn, spec, config):
+        n = self.submissions[spec.job_id] = (
+            self.submissions.get(spec.job_id, 0) + 1
+        )
+        if n <= self.flaky_attempts:
+            return _TimeoutFuture()
+        return _EagerFuture(spec, config)
+
+
+class TestRunnerResilience:
+    def _runner(self, monkeypatch, flaky_attempts, **config_kwargs):
+        executor = _FakeExecutor(flaky_attempts)
+        monkeypatch.setattr(
+            engine_module, "_make_executor", lambda workers: executor
+        )
+        sleeps = []
+        config = RunnerConfig(
+            jobs=2,
+            parallel=True,
+            cache_dir=None,
+            job_timeout_s=0.01,
+            backoff_base_s=0.5,
+            backoff_factor=2.0,
+            **config_kwargs,
+        )
+        runner = ExperimentRunner(config, sleep=sleeps.append)
+        return runner, sleeps
+
+    def test_timeout_exhaustion_records_structured_failure(
+        self, monkeypatch
+    ):
+        runner, sleeps = self._runner(
+            monkeypatch, flaky_attempts=99, job_retries=2,
+            allow_partial=True,
+        )
+        specs = [_spec("DC"), _spec("kCore")]
+        outcomes, report = runner.run(specs)
+        assert outcomes == []
+        assert len(report.failures) == 2
+        assert all(f.kind == "timeout" for f in report.failures)
+        assert all(f.attempts == 3 for f in report.failures)
+        assert all(job.status == "failed" for job in report.jobs)
+        # Exponential backoff between attempts, per job.
+        assert sleeps == [0.5, 1.0, 0.5, 1.0]
+        as_json = json.loads(json.dumps(report.to_dict()))
+        assert as_json["failures"][0]["kind"] == "timeout"
+        assert "FAILED" in report.summary()
+
+    def test_timeout_then_retry_succeeds(self, monkeypatch):
+        runner, sleeps = self._runner(
+            monkeypatch, flaky_attempts=1, job_retries=2
+        )
+        specs = [_spec("DC"), _spec("kCore")]
+        outcomes, report = runner.run(specs)
+        assert len(outcomes) == 2
+        assert report.failures == []
+        assert all(job.status == "done" for job in report.jobs)
+        assert all(job.attempts == 2 for job in report.jobs)
+        assert sleeps == [0.5, 0.5]
+
+    def test_timeout_without_allow_partial_raises(self, monkeypatch):
+        runner, _sleeps = self._runner(
+            monkeypatch, flaky_attempts=99, job_retries=0
+        )
+        with pytest.raises(RunnerError, match=r"\[timeout\]"):
+            runner.run([_spec("DC"), _spec("kCore")])
+
+    def test_crash_mid_grid_degrades_to_partial_report(self, monkeypatch):
+        real = engine_module.execute_spec
+
+        def crashing(spec, config):
+            if spec.workload == "kCore":
+                raise OSError("worker lost its cache directory")
+            return real(spec, config)
+
+        monkeypatch.setattr(engine_module, "execute_spec", crashing)
+        config = RunnerConfig(
+            parallel=False, cache_dir=None, allow_partial=True
+        )
+        specs = [_spec("DC"), _spec("kCore"), _spec("BFS")]
+        outcomes, report = ExperimentRunner(config).run(specs)
+        assert [o.spec.workload for o in outcomes] == ["DC", "BFS"]
+        (failure,) = report.failures
+        assert failure.kind == "crash"
+        assert "cache directory" in failure.message
+        # The surviving outcomes are real results, not placeholders.
+        assert outcomes[0].results["GraphPIM"].cycles > 0
+
+    def test_resume_runs_exactly_the_remaining_specs(
+        self, tmp_path, monkeypatch
+    ):
+        cache_dir = str(tmp_path / "c")
+        config = RunnerConfig(parallel=False, cache_dir=cache_dir)
+        first = [_spec("DC"), _spec("kCore")]
+        ExperimentRunner(config).run(first)
+
+        executed = []
+        real = engine_module.execute_spec
+
+        def counting(spec, config):
+            executed.append(spec.workload)
+            return real(spec, config)
+
+        monkeypatch.setattr(engine_module, "execute_spec", counting)
+        resumed = RunnerConfig(
+            parallel=False, cache_dir=cache_dir, resume=True
+        )
+        specs = [_spec("DC"), _spec("kCore"), _spec("BFS")]
+        outcomes, report = ExperimentRunner(resumed).run(specs)
+        assert executed == ["BFS"]
+        assert [o.spec.workload for o in outcomes] == ["BFS"]
+        assert report.jobs_skipped == 2
+        assert {
+            job.workload: job.status for job in report.jobs
+        } == {"DC": "skipped", "kCore": "skipped", "BFS": "done"}
+        assert "skipped (resume)" in report.summary()
+
+    def test_resume_without_cache_dir_is_an_error(self):
+        config = RunnerConfig(parallel=False, cache_dir=None, resume=True)
+        with pytest.raises(RunnerError, match="resume"):
+            ExperimentRunner(config).run([_spec("DC")])
+
+    def test_spec_key_covers_faults_and_salt(self):
+        from repro.faults import FaultPlan
+        from repro.sim.config import SystemConfig as SC
+
+        clean = _spec("DC")
+        faulty = _spec(
+            "DC",
+            modes=tuple(
+                SC(faults=FaultPlan(seed=1, request_ber=1e-6))
+                .evaluation_trio()
+            ),
+        )
+        assert spec_key(clean) == spec_key(clean)
+        assert spec_key(clean) != spec_key(faulty)
+        assert spec_key(clean) != spec_key(clean, salt="other")
+
+
+class TestCheckpointJournal:
+    def test_mark_and_completed(self, tmp_path):
+        journal = CheckpointJournal(tmp_path)
+        assert journal.completed() == set()
+        journal.mark("aaa", "DC@tiny")
+        journal.mark("bbb")
+        assert journal.completed() == {"aaa", "bbb"}
+        journal.clear()
+        assert journal.completed() == set()
+
+    def test_torn_final_line_is_ignored(self, tmp_path):
+        journal = CheckpointJournal(tmp_path)
+        journal.mark("aaa")
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"spec": "bbb", "job')  # killed mid-write
+        assert journal.completed() == {"aaa"}
+
+    def test_cache_clear_drops_journal(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        journal = CheckpointJournal(tmp_path)
+        journal.mark("aaa")
+        cache.clear()
+        assert journal.completed() == set()
+
+
+class TestCacheVerify:
+    def test_verify_quarantines_bad_entries(self, tmp_path, dc_payload):
+        cache = ResultCache(tmp_path / "c")
+        good = dc_payload["modes"]["Baseline"]["payload"]
+        cache.put("a" * 64, good)
+        cache.put("b" * 64, {"schema": 999})  # wrong payload schema
+        cache.put("c" * 64, good)
+        cache._path("c" * 64).write_text("{not json")
+        outcome = cache.verify()
+        assert outcome["checked"] == 3
+        assert outcome["ok"] == 1
+        assert outcome["quarantined"] == 2
+        quarantine = cache._objects / "quarantine"
+        assert sorted(p.name for p in quarantine.glob("*.json")) == [
+            "b" * 64 + ".json",
+            "c" * 64 + ".json",
+        ]
+        # Healthy entry still served; quarantined ones are misses now.
+        assert cache.get("a" * 64) == good
+        assert cache.get("b" * 64) is None
+        # Quarantined bytes do not count as cache entries.
+        assert cache.entry_count() == 1
+
+    def test_verify_empty_cache(self, tmp_path):
+        outcome = ResultCache(tmp_path / "none").verify()
+        assert outcome == {
+            "checked": 0,
+            "ok": 0,
+            "quarantined": 0,
+            "quarantine_dir": str(tmp_path / "none" / "objects" / "quarantine"),
+        }
 
 
 # ----------------------------------------------------------------------
