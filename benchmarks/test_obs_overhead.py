@@ -1,0 +1,73 @@
+"""Observability overhead guard: the uninstrumented path stays free.
+
+Every instrumented component hoists ``recorder.enabled`` once at
+construction, so a simulation run with the default
+:class:`~repro.obs.timeline.NullRecorder` must cost (within timing
+noise) the same as one run with no recorder argument at all — and must
+be bit-identical.  This benchmark measures both and fails if the null
+path regresses, which would mean per-event work leaked onto the fast
+path.
+
+Timing assertions are deliberately loose (best-of-N against a 1.25x
+budget) so CI noise cannot flake the guard; the bit-identity assertion
+is exact.
+"""
+
+import time
+
+from repro.graph.generators import ldbc_like_graph
+from repro.obs import NullRecorder, TimelineRecorder
+from repro.sim.config import SystemConfig
+from repro.sim.system import simulate
+from repro.workloads.registry import get_workload
+
+#: Allowed best-of-N slowdown of the NullRecorder path vs no recorder.
+NULL_OVERHEAD_BUDGET = 1.25
+ROUNDS = 3
+
+
+def _best_of(fn, rounds=ROUNDS):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_obs_null_recorder_overhead(benchmark):
+    graph = ldbc_like_graph(2_000, seed=7)
+    run = get_workload("BFS").run(graph, num_threads=8)
+    config = SystemConfig.graphpim()
+
+    def measure():
+        plain_s, plain = _best_of(lambda: simulate(run.trace, config))
+        null_s, nulled = _best_of(
+            lambda: simulate(run.trace, config, recorder=NullRecorder())
+        )
+        recorded_s, recorded = _best_of(
+            lambda: simulate(
+                run.trace, config, recorder=TimelineRecorder()
+            )
+        )
+        return plain_s, null_s, recorded_s, plain, nulled, recorded
+
+    plain_s, null_s, recorded_s, plain, nulled, recorded = (
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+    )
+    print()
+    print(
+        f"  plain={plain_s * 1e3:.1f}ms  null={null_s * 1e3:.1f}ms "
+        f"({null_s / plain_s:.2f}x)  "
+        f"recorded={recorded_s * 1e3:.1f}ms "
+        f"({recorded_s / plain_s:.2f}x)"
+    )
+    # The NullRecorder must be observationally free...
+    assert plain.to_dict() == nulled.to_dict()
+    assert null_s <= plain_s * NULL_OVERHEAD_BUDGET, (
+        f"NullRecorder path {null_s / plain_s:.2f}x slower than "
+        f"uninstrumented (budget {NULL_OVERHEAD_BUDGET}x)"
+    )
+    # ...and recording, however slow, must never change the outcome.
+    assert plain.to_dict() == recorded.to_dict()

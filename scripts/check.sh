@@ -104,6 +104,45 @@ fi
 run_or_fail python -m repro cache --cache-dir "$fault_cache" --verify
 rm -rf "$fault_cache"
 
+step "repro obs (timeline export + structured-log smoke)"
+obs_dir="$(mktemp -d)"
+run_or_fail python -m repro obs timeline BFS --vertices 400 \
+    -o "$obs_dir/trace.json"
+# The export must be structurally valid Chrome trace-event JSON.
+if python -c '
+import json, sys
+from repro.obs import validate_trace_dict
+data = json.load(open(sys.argv[1]))
+validate_trace_dict(data)
+count = len(data["traceEvents"])
+assert count, "empty timeline"
+print(f"timeline smoke: {count} event(s)")
+' "$obs_dir/trace.json"; then
+    echo "timeline smoke passed"
+else
+    echo "timeline smoke FAILED"
+    failures=$((failures + 1))
+fi
+# Under --log-json every stderr log line must parse as a JSON object
+# carrying an "event" field.
+if python -m repro run --scale tiny --jobs 2 \
+    --cache-dir "$obs_dir/cache" --log-json \
+    >/dev/null 2>"$obs_dir/run.log" \
+    && python -c '
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert lines, "no log lines on stderr"
+events = {json.loads(l)["event"] for l in lines}
+assert {"grid_start", "grid_finish"} <= events, events
+print(f"log smoke: {len(lines)} JSON line(s), events={sorted(events)}")
+' "$obs_dir/run.log"; then
+    echo "structured-log smoke passed"
+else
+    echo "structured-log smoke FAILED"
+    failures=$((failures + 1))
+fi
+rm -rf "$obs_dir"
+
 echo
 if [ "$failures" -ne 0 ]; then
     echo "check.sh: $failures step(s) FAILED"

@@ -18,6 +18,9 @@
     python -m repro faults show ber=1e-6,drop=1e-4
     python -m repro lint dc.npz
     python -m repro lint graphpim
+    python -m repro obs timeline BFS -o trace.json   # Perfetto export
+    python -m repro obs metrics BFS --diff baseline graphpim
+    python -m repro run --log-level info --log-json  # structured logs
 
 ``repro run`` without a workload executes the evaluation grid through
 the experiment runner: jobs fan out over a process pool (``--jobs``,
@@ -145,6 +148,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="grid mode: skip jobs checkpointed as completed in the "
         "cache root's journal (after a killed run)",
     )
+    run.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="grid mode: emit structured run logs on stderr at this "
+        "level (default: silent)",
+    )
+    run.add_argument(
+        "--log-json",
+        action="store_true",
+        help="grid mode: format run logs as JSON lines (implies "
+        "--log-level info unless set)",
+    )
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the persistent result cache"
@@ -216,6 +232,78 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     show.add_argument("spec", help="e.g. ber=1e-6,drop=1e-4,seed=7")
     show.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    obs = sub.add_parser(
+        "obs",
+        help="observability tools (timeline export, metrics snapshots)",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    timeline = obs_sub.add_parser(
+        "timeline",
+        help="simulate and export a Chrome-trace/Perfetto timeline "
+        "in simulated nanoseconds",
+    )
+    timeline.add_argument(
+        "spec",
+        help="workload code (e.g. BFS) or a saved .npz trace file",
+    )
+    timeline.add_argument(
+        "--mode", choices=sorted(_MODE_CTORS), default="graphpim"
+    )
+    timeline.add_argument("--vertices", type=int, default=2_000)
+    timeline.add_argument("--threads", type=int, default=16)
+    timeline.add_argument("--seed", type=int, default=7)
+    timeline.add_argument(
+        "--sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="keep every N-th event per (track, name) stream",
+    )
+    timeline.add_argument(
+        "--max-events",
+        type=int,
+        default=1_000_000,
+        help="hard cap on recorded events (excess is counted, not kept)",
+    )
+    timeline.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="fault-injection plan, e.g. ber=1e-6,drop=1e-4,seed=7",
+    )
+    timeline.add_argument("-o", "--output", required=True)
+    metrics = obs_sub.add_parser(
+        "metrics",
+        help="simulate and print the run's metrics snapshot",
+    )
+    metrics.add_argument(
+        "spec",
+        help="workload code (e.g. BFS) or a saved .npz trace file",
+    )
+    metrics.add_argument(
+        "--mode", choices=sorted(_MODE_CTORS), default="graphpim"
+    )
+    metrics.add_argument("--vertices", type=int, default=2_000)
+    metrics.add_argument("--threads", type=int, default=16)
+    metrics.add_argument("--seed", type=int, default=7)
+    metrics.add_argument(
+        "--diff",
+        nargs=2,
+        choices=sorted(_MODE_CTORS),
+        metavar=("A", "B"),
+        default=None,
+        help="simulate under two modes and print per-series deltas",
+    )
+    metrics.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="fault-injection plan applied to every simulated mode",
+    )
+    metrics.add_argument(
         "--json", action="store_true", help="machine-readable output"
     )
 
@@ -328,6 +416,9 @@ def _cmd_run_grid(args) -> int:
     """Evaluation grid through the parallel, cached experiment runner."""
     from repro.runner import RunnerConfig, run_evaluation_grid
 
+    log_level = args.log_level
+    if log_level is None and args.log_json:
+        log_level = "info"
     config = RunnerConfig(
         scale=args.scale,
         strict=args.strict,
@@ -338,6 +429,8 @@ def _cmd_run_grid(args) -> int:
         job_retries=args.retries,
         allow_partial=args.allow_partial,
         resume=args.resume,
+        log_level=log_level,
+        log_json=args.log_json,
     )
 
     def progress(record) -> None:
@@ -386,7 +479,11 @@ def _cmd_run_grid(args) -> int:
                 f"  {failure.job_id:16s} [{failure.kind}] "
                 f"after {failure.attempts} attempt(s): {failure.message}"
             )
+        print()
+        print(runner_report.summary_line())
         return 1
+    print()
+    print(runner_report.summary_line())
     return 0
 
 
@@ -493,6 +590,106 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _trace_for_spec(args):
+    """Trace from ``args.spec``: a workload code or a saved .npz file."""
+    spec = args.spec
+    if spec.endswith(".npz") or os.path.exists(spec):
+        return load_trace(spec)
+    workload = get_workload(spec)
+    weighted = spec == "SSSP"
+    graph = ldbc_like_graph(
+        args.vertices, seed=args.seed, weighted=weighted
+    )
+    run = workload.run(
+        graph, num_threads=args.threads, **workload_params(spec)
+    )
+    return run.trace
+
+
+def _obs_config(args, mode: str):
+    """SystemConfig for one obs simulation (mode + optional faults)."""
+    return _MODE_CTORS[mode](faults=_parse_faults(args))
+
+
+def _cmd_obs(args) -> int:
+    if args.obs_command == "timeline":
+        return _cmd_obs_timeline(args)
+    return _cmd_obs_metrics(args)
+
+
+def _cmd_obs_timeline(args) -> int:
+    from repro.obs import TimelineRecorder
+
+    trace = _trace_for_spec(args)
+    config = _obs_config(args, args.mode)
+    recorder = TimelineRecorder(
+        sample_every=args.sample, max_events=args.max_events
+    )
+    result = simulate(trace, config, recorder=recorder)
+    recorder.write(args.output)
+    print(f"mode    : {config.display_name}")
+    print(f"cycles  : {result.cycles:.0f}")
+    print(
+        f"events  : {recorder.event_count} recorded, "
+        f"{recorder.dropped_events} dropped"
+    )
+    print(f"trace   : {args.output}")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def _cmd_obs_metrics(args) -> int:
+    from repro.obs import diff_snapshots, flatten_snapshot
+
+    trace = _trace_for_spec(args)
+    if args.diff is not None:
+        mode_a, mode_b = args.diff
+        snap_a = simulate(
+            trace, _obs_config(args, mode_a)
+        ).metrics_snapshot()
+        snap_b = simulate(
+            trace, _obs_config(args, mode_b)
+        ).metrics_snapshot()
+        rows = diff_snapshots(snap_a, snap_b)
+        if args.json:
+            print(
+                json.dumps(
+                    [
+                        {
+                            "series": series,
+                            mode_a: value_a,
+                            mode_b: value_b,
+                            "delta": delta,
+                        }
+                        for series, value_a, value_b, delta in rows
+                    ],
+                    indent=2,
+                )
+            )
+            return 0
+        width = max((len(row[0]) for row in rows), default=6)
+        print(
+            f"{'series':{width}s} {mode_a:>16s} {mode_b:>16s} "
+            f"{'delta':>16s}"
+        )
+        for series, value_a, value_b, delta in rows:
+            print(
+                f"{series:{width}s} {value_a:16.6g} {value_b:16.6g} "
+                f"{delta:+16.6g}"
+            )
+        return 0
+    result = simulate(trace, _obs_config(args, args.mode))
+    snapshot = result.metrics_snapshot()
+    if args.json:
+        print(json.dumps(snapshot, indent=2))
+        return 0
+    flat = flatten_snapshot(snapshot)
+    width = max((len(series) for series in flat), default=6)
+    for series in sorted(flat):
+        print(f"{series:{width}s} {flat[series]:16.6g}")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis import (
         describe_rules,
@@ -538,6 +735,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "experiment": _cmd_experiment,
     "faults": _cmd_faults,
+    "obs": _cmd_obs,
     "lint": _cmd_lint,
 }
 

@@ -73,6 +73,19 @@ class DdrStats:
     def from_dict(cls, data: dict) -> "DdrStats":
         return cls(**data)
 
+    def publish(self, registry) -> None:
+        """Register the DDR-side counters on a metrics registry."""
+        ops = registry.counter(
+            "ddr_ops_total", help="DDR accesses by type"
+        )
+        ops.inc(self.reads, op="read")
+        ops.inc(self.writes, op="write")
+        waits = registry.counter(
+            "ddr_wait_cycles_total", help="DDR queueing by resource"
+        )
+        waits.inc(self.bus_wait_cycles, resource="bus")
+        waits.inc(self.bank_wait_cycles, resource="bank")
+
 
 class DdrDevice:
     """Timing model for the conventional DRAM of a hybrid system."""

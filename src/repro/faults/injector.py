@@ -14,6 +14,8 @@ pure functions of the plan.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.common.rng import derive_seed
@@ -21,11 +23,42 @@ from repro.faults.plan import FaultPlan
 from repro.hmc.packets import packet_bits
 
 
+@dataclass
+class FaultDecisionStats:
+    """How many fault decisions the injector made, and their outcomes.
+
+    Purely observational — the counters are updated alongside the RNG
+    draws and never feed back into them, so enabling metrics cannot
+    perturb the deterministic fault stream.
+    """
+
+    link_draws: int = 0
+    retransmissions_granted: int = 0
+    drop_draws: int = 0
+    responses_dropped: int = 0
+    stall_window_hits: int = 0
+
+    def publish(self, registry) -> None:
+        """Register the injector's decision counters."""
+        decisions = registry.counter(
+            "fault_injector_decisions_total",
+            help="injector RNG draws and positive outcomes by kind",
+        )
+        decisions.inc(self.link_draws, kind="link_draw")
+        decisions.inc(
+            self.retransmissions_granted, kind="retransmission"
+        )
+        decisions.inc(self.drop_draws, kind="drop_draw")
+        decisions.inc(self.responses_dropped, kind="response_dropped")
+        decisions.inc(self.stall_window_hits, kind="stall_window_hit")
+
+
 class FaultInjector:
     """Per-device fault stream realizing one plan against one config."""
 
     def __init__(self, plan: FaultPlan, num_vaults: int):
         self.plan = plan
+        self.decisions = FaultDecisionStats()
         self._gen = np.random.Generator(
             np.random.PCG64(derive_seed(plan.seed, "hmc-faults"))
         )
@@ -55,11 +88,12 @@ class FaultInjector:
         if p_err <= 0.0:
             return 0
         count = 0
-        while (
-            count < self.plan.max_retransmits
-            and float(self._gen.random()) < p_err
-        ):
+        while count < self.plan.max_retransmits:
+            self.decisions.link_draws += 1
+            if float(self._gen.random()) >= p_err:
+                break
             count += 1
+        self.decisions.retransmissions_granted += count
         return count
 
     def request_retransmissions(self, flits: int) -> int:
@@ -78,7 +112,11 @@ class FaultInjector:
         """Whether this transaction's response is lost or poisoned."""
         if self.plan.drop_rate <= 0.0:
             return False
-        return float(self._gen.random()) < self.plan.drop_rate
+        self.decisions.drop_draws += 1
+        dropped = float(self._gen.random()) < self.plan.drop_rate
+        if dropped:
+            self.decisions.responses_dropped += 1
+        return dropped
 
     # ------------------------------------------------------------------
     # Vault stall windows (refresh / thermal throttling)
@@ -100,5 +138,6 @@ class FaultInjector:
         phase = float(self._stall_phase[vault]) * period
         offset = (t_cycles - phase) % period
         if offset < duration:
+            self.decisions.stall_window_hits += 1
             return duration - offset
         return 0.0

@@ -106,6 +106,46 @@ class HmcStats:
             fault_stall_cycles=data["fault_stall_cycles"],
         )
 
+    def publish(self, registry) -> None:
+        """Register this run's HMC counters on a metrics registry."""
+        requests = registry.counter(
+            "hmc_requests_total", help="transactions by kind"
+        )
+        flits = registry.counter(
+            "hmc_flits_total", help="link FLITs by kind and direction"
+        )
+        for kind, count in sorted(self.requests.items(), key=lambda kv: kv[0].name):
+            requests.inc(count, kind=kind.name)
+        for kind, count in sorted(self.request_flits.items(), key=lambda kv: kv[0].name):
+            flits.inc(count, kind=kind.name, direction="request")
+        for kind, count in sorted(self.response_flits.items(), key=lambda kv: kv[0].name):
+            flits.inc(count, kind=kind.name, direction="response")
+        dram = registry.counter(
+            "hmc_dram_ops_total", help="DRAM operations by type"
+        )
+        dram.inc(self.dram_activates, op="activate")
+        dram.inc(self.dram_reads, op="read")
+        dram.inc(self.dram_writes, op="write")
+        fu = registry.counter(
+            "hmc_fu_ops_total", help="PIM functional-unit ops by pool"
+        )
+        fu.inc(self.fu_int_ops, pool="int")
+        fu.inc(self.fu_fp_ops, pool="fp")
+        waits = registry.counter(
+            "hmc_wait_cycles_total", help="queueing by resource class"
+        )
+        waits.inc(self.bank_wait_cycles, resource="bank")
+        waits.inc(self.link_wait_cycles, resource="link")
+        faults = registry.counter(
+            "hmc_fault_events_total", help="injected-fault recovery events"
+        )
+        faults.inc(self.retransmitted_flits, event="retransmitted_flits")
+        faults.inc(self.reissued_requests, event="reissued_requests")
+        registry.counter(
+            "hmc_fault_stall_cycles_total",
+            help="cycles lost to injected vault stall windows",
+        ).inc(self.fault_stall_cycles)
+
 
 class _LinkLane:
     """Token-bucket model of one link direction's aggregate bandwidth.
@@ -150,9 +190,24 @@ class HmcDevice:
     from the plan's seed, so results are bit-identical across runs.
     """
 
-    def __init__(self, config: HmcConfig | None = None, fault_plan=None):
+    def __init__(
+        self,
+        config: HmcConfig | None = None,
+        fault_plan=None,
+        recorder=None,
+    ):
         self.config = config or HmcConfig()
         cfg = self.config
+        # Timeline recording (repro.obs): one lane per vault.  Hoisted
+        # to None when disabled so the hot paths pay one check, no calls.
+        self._rec = (
+            recorder if recorder is not None and recorder.enabled else None
+        )
+        if self._rec is not None:
+            for vault in range(cfg.num_vaults):
+                self._rec.label("hmc", vault, f"vault {vault}")
+            self._rec.label("hmc-link", 0, "request lane")
+            self._rec.label("hmc-link", 1, "response lane")
         if fault_plan is not None and fault_plan.enabled:
             from repro.faults.injector import FaultInjector
 
@@ -202,6 +257,7 @@ class HmcDevice:
                 end,
                 flits,
                 self._faults.request_retransmissions(flits),
+                lane_id=0,
             )
         self.stats.link_wait_cycles = (
             self._req_lane.wait_cycles + self._resp_lane.wait_cycles
@@ -216,6 +272,7 @@ class HmcDevice:
                 end,
                 flits,
                 self._faults.response_retransmissions(flits),
+                lane_id=1,
             )
         self.stats.link_wait_cycles = (
             self._req_lane.wait_cycles + self._resp_lane.wait_cycles
@@ -223,7 +280,12 @@ class HmcDevice:
         return end
 
     def _retransmit(
-        self, lane: _LinkLane, end: float, flits: int, retries: int
+        self,
+        lane: _LinkLane,
+        end: float,
+        flits: int,
+        retries: int,
+        lane_id: int = 0,
     ) -> float:
         """Replay a CRC-failed packet ``retries`` times on ``lane``.
 
@@ -235,6 +297,11 @@ class HmcDevice:
                 end + self.config.link_retry_latency, flits
             )
             self.stats.retransmitted_flits += flits
+            if self._rec is not None:
+                self._rec.instant(
+                    "hmc-link", lane_id, "fault:retransmit", end,
+                    args={"flits": flits},
+                )
         return end
 
     def _reserve_bank(
@@ -279,6 +346,11 @@ class HmcDevice:
                 return completion
             attempts += 1
             self.stats.reissued_requests += 1
+            if self._rec is not None:
+                self._rec.instant(
+                    "hmc-link", 1, "fault:reissue", completion,
+                    args={"kind": "READ", "attempt": attempts},
+                )
             if attempts > self._faults.plan.retry_budget:
                 raise SimulationError(
                     f"READ at {addr:#x}: response lost {attempts} "
@@ -298,6 +370,11 @@ class HmcDevice:
         vault, bank = self.vault_of(addr), self.bank_of(addr)
         occupancy = cfg.tRAS + cfg.tRP
         t_bank = self._reserve_bank(vault, bank, t_vault, occupancy)
+        if self._rec is not None:
+            self._rec.span(
+                "hmc", vault, "bank:read", t_bank, occupancy,
+                args={"bank": bank},
+            )
         data_ready = t_bank + cfg.tRCD + cfg.tCL + cfg.burst
         self.stats.dram_activates += 1
         self.stats.dram_reads += 1
@@ -323,6 +400,11 @@ class HmcDevice:
         vault, bank = self.vault_of(addr), self.bank_of(addr)
         occupancy = cfg.tRCD + cfg.burst + cfg.tWR + cfg.tRP
         t_bank = self._reserve_bank(vault, bank, t_vault, occupancy)
+        if self._rec is not None:
+            self._rec.span(
+                "hmc", vault, "bank:write", t_bank, occupancy,
+                args={"bank": bank},
+            )
         done = t_bank + occupancy
         self.stats.dram_activates += 1
         self.stats.dram_writes += 1
@@ -353,6 +435,11 @@ class HmcDevice:
                 return completion, has_data
             attempts += 1
             self.stats.reissued_requests += 1
+            if self._rec is not None:
+                self._rec.instant(
+                    "hmc-link", 1, "fault:reissue", completion,
+                    args={"kind": command.value, "attempt": attempts},
+                )
             if attempts > self._faults.plan.retry_budget:
                 raise SimulationError(
                     f"{command.value} at {addr:#x}: response lost "
@@ -387,6 +474,15 @@ class HmcDevice:
             # Ablation: release the bank after the read phase.
             occupancy = cfg.tRAS + cfg.tRP
         t_bank = self._reserve_bank(vault, bank, t_vault, occupancy)
+        if self._rec is not None:
+            self._rec.span(
+                "hmc", vault, "bank:pim_atomic", t_bank, occupancy,
+                args={
+                    "bank": bank,
+                    "cmd": command.value,
+                    "locks_bank": cfg.atomic_locks_bank,
+                },
+            )
         data_at_fu = t_bank + cfg.tRCD + cfg.tCL
         pool = self._fp_fu_free[vault] if is_fp else self._fu_free[vault]
         fu_start = self._reserve_fu(pool, data_at_fu, fu_time)

@@ -1,0 +1,64 @@
+"""Observability: metrics registry, timeline recording, run logs.
+
+Zero-dependency instrumentation spine threaded through the simulator,
+the HMC device, and the experiment runner:
+
+- :class:`MetricsRegistry` — named counters / gauges / histograms with
+  labeled series; stats objects publish into it and it snapshots to
+  versioned JSON (``SimResult.to_dict(include_metrics=True)``,
+  ``repro obs metrics``).
+- :class:`TimelineRecorder` — Chrome trace-event / Perfetto JSON in
+  simulated nanoseconds (``repro obs timeline``); the
+  :data:`NULL_RECORDER` default keeps the uninstrumented path
+  overhead-free and bit-identical.
+- :func:`configure_logging` — structured (optionally JSON-lines) run
+  logs from the runner (``repro run --log-level info --log-json``).
+
+None of this feeds cache fingerprints: observability settings never
+enter :class:`~repro.sim.config.SystemConfig`, so enabling obs cannot
+churn cache keys or alter simulation results.
+"""
+
+from repro.obs.logs import (
+    JsonLineFormatter,
+    configure_logging,
+    get_logger,
+    reset_logging,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    METRICS_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    flatten_snapshot,
+)
+from repro.obs.timeline import (
+    NULL_RECORDER,
+    TIMELINE_SCHEMA_VERSION,
+    NullRecorder,
+    TimelineRecorder,
+    validate_trace_dict,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "METRICS_SCHEMA_VERSION",
+    "NULL_RECORDER",
+    "TIMELINE_SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonLineFormatter",
+    "MetricsRegistry",
+    "NullRecorder",
+    "TimelineRecorder",
+    "configure_logging",
+    "diff_snapshots",
+    "flatten_snapshot",
+    "get_logger",
+    "reset_logging",
+    "validate_trace_dict",
+]

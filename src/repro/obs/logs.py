@@ -1,0 +1,104 @@
+"""Structured run logging for the experiment runner.
+
+The runner emits job lifecycle events (``grid_start``, ``job_finished``,
+``job_retry``, ``job_failed``, ``cache_hit``, ``grid_finish``) through
+the standard :mod:`logging` machinery under the ``repro.runner`` logger.
+By default the library stays silent (a ``NullHandler`` on the ``repro``
+root); :func:`configure_logging` attaches a stderr handler rendering
+either human-readable lines or one JSON object per line
+(``repro run --log-level info --log-json``).
+
+Structured fields travel in ``extra=``; every event carries an
+``event`` field naming it, so machine consumers filter on
+``{"event": "job_finished", ...}`` instead of parsing message text.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, Optional
+
+#: Attributes present on every LogRecord; anything else is a
+#: caller-supplied structured field and belongs in the JSON payload.
+_RESERVED_ATTRS = frozenset(
+    {
+        "args", "asctime", "created", "exc_info", "exc_text", "filename",
+        "funcName", "levelname", "levelno", "lineno", "message", "module",
+        "msecs", "msg", "name", "pathname", "process", "processName",
+        "relativeCreated", "stack_info", "taskName", "thread",
+        "threadName",
+    }
+)
+
+#: Marker attribute distinguishing obs-installed handlers from any the
+#: embedding application configured itself.
+_OBS_HANDLER_FLAG = "_repro_obs_handler"
+
+_ROOT_LOGGER = "repro"
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per record: timestamp, level, message, extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key in _RESERVED_ATTRS or key.startswith("_"):
+                continue
+            payload[key] = value
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def get_logger(name: str = "runner") -> logging.Logger:
+    """Namespaced library logger; silent until configured."""
+    root = logging.getLogger(_ROOT_LOGGER)
+    if not any(isinstance(h, logging.NullHandler) for h in root.handlers):
+        root.addHandler(logging.NullHandler())
+    return logging.getLogger(f"{_ROOT_LOGGER}.{name}")
+
+
+def configure_logging(
+    level: str = "info",
+    json_lines: bool = False,
+    stream: "Optional[IO[str]]" = None,
+) -> logging.Logger:
+    """Attach (or replace) the obs handler on the ``repro`` logger.
+
+    Idempotent: a prior obs-installed handler is removed first, so CLI
+    code and the runner may both call this without duplicating output.
+    Returns the configured root library logger.
+    """
+    try:
+        levelno = getattr(logging, level.upper())
+    except AttributeError:
+        raise ValueError(f"unknown log level {level!r}") from None
+    root = get_logger().parent
+    assert root is not None  # get_logger guarantees the repro root
+    reset_logging()
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if json_lines:
+        handler.setFormatter(JsonLineFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+    setattr(handler, _OBS_HANDLER_FLAG, True)
+    root.addHandler(handler)
+    root.setLevel(levelno)
+    return root
+
+
+def reset_logging() -> None:
+    """Detach every obs-installed handler (tests; re-configuration)."""
+    root = logging.getLogger(_ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if getattr(handler, _OBS_HANDLER_FLAG, False):
+            root.removeHandler(handler)
+            handler.close()

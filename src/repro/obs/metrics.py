@@ -1,0 +1,315 @@
+"""Metrics registry: named counters / gauges / histograms with labels.
+
+Components *publish* their end-of-run stats into a
+:class:`MetricsRegistry` (``CoreStats.publish``, ``HmcStats.publish``,
+...), and the registry snapshots to a versioned, JSON-safe mapping that
+rides on ``SimResult.to_dict(include_metrics=True)`` and the
+``repro obs metrics`` CLI.  The design follows the Prometheus data
+model — a metric is a family of labeled series — but is zero-dependency
+and append-only: there is no scraping, just ``snapshot()``.
+
+Metric names use the ``<component>_<quantity>_<unit-or-total>``
+convention (``hmc_bank_wait_cycles_total``); labels qualify a series
+within its family (``cache_hits_total{level="L1"}``).  The snapshot
+format round-trips via :meth:`MetricsRegistry.from_snapshot`, and
+:func:`diff_snapshots` aligns two snapshots for side-by-side deltas
+(``repro obs metrics --diff``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.common.errors import ConfigError
+
+#: Version of the :meth:`MetricsRegistry.snapshot` payload layout.
+METRICS_SCHEMA_VERSION = 1
+
+#: Default histogram bucket upper bounds (generic latency-ish scale).
+DEFAULT_BUCKETS = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+_LabelKey = "tuple[tuple[str, str], ...]"
+
+
+def _label_key(labels: dict) -> "tuple[tuple[str, str], ...]":
+    """Canonical hashable identity of a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _label_str(key: "tuple[tuple[str, str], ...]") -> str:
+    """Render a label key the Prometheus way: ``a="1",b="x"``."""
+    return ",".join(f'{name}="{value}"' for name, value in key)
+
+
+class _Metric:
+    """One metric family: a kind, a help string, labeled series."""
+
+    kind = "abstract"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._series: "dict[tuple[tuple[str, str], ...], Any]" = {}
+
+    def _series_for(self, labels: dict) -> Any:
+        key = _label_key(labels)
+        if key not in self._series:
+            self._series[key] = self._new_value()
+        return key
+
+    def _new_value(self) -> Any:
+        raise NotImplementedError
+
+    def series_items(self) -> "Iterator[tuple[tuple[tuple[str, str], ...], Any]]":
+        return iter(sorted(self._series.items()))
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+
+class Counter(_Metric):
+    """Monotonically increasing total (float-valued: cycles are floats)."""
+
+    kind = "counter"
+
+    def _new_value(self) -> float:
+        return 0.0
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ConfigError(
+                f"counter {self.name}: cannot decrease (amount={amount})"
+            )
+        key = self._series_for(labels)
+        self._series[key] += amount
+
+    def value(self, **labels) -> float:
+        return self._series.get(_label_key(labels), 0.0)
+
+
+class Gauge(_Metric):
+    """Point-in-time value that can move either way."""
+
+    kind = "gauge"
+
+    def _new_value(self) -> float:
+        return 0.0
+
+    def set(self, value: float, **labels) -> None:
+        key = self._series_for(labels)
+        self._series[key] = float(value)
+
+    def add(self, amount: float, **labels) -> None:
+        key = self._series_for(labels)
+        self._series[key] += amount
+
+    def value(self, **labels) -> float:
+        return self._series.get(_label_key(labels), 0.0)
+
+
+class Histogram(_Metric):
+    """Distribution over fixed buckets (upper-bound semantics).
+
+    Bucket counts are *non-cumulative* (each observation lands in
+    exactly one bucket); ``+Inf`` catches overflow.  ``count`` and
+    ``sum`` summarize the whole series.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: "tuple[float, ...]" = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ConfigError(
+                f"histogram {name}: buckets must be a sorted non-empty "
+                f"sequence"
+            )
+        self.buckets = tuple(float(b) for b in buckets)
+
+    def _new_value(self) -> dict:
+        return {
+            "buckets": [0] * (len(self.buckets) + 1),
+            "count": 0,
+            "sum": 0.0,
+        }
+
+    def observe(self, value: float, **labels) -> None:
+        key = self._series_for(labels)
+        series = self._series[key]
+        idx = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                idx = i
+                break
+        series["buckets"][idx] += 1
+        series["count"] += 1
+        series["sum"] += value
+
+    def value(self, **labels) -> dict:
+        return self._series.get(
+            _label_key(labels), self._new_value()
+        )
+
+
+class MetricsRegistry:
+    """Process-local collection of metric families.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: asking
+    for an existing name returns the same family (so independent
+    ``publish`` hooks can share a registry), but asking with a
+    different kind raises :class:`~repro.common.errors.ConfigError`.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: "dict[str, _Metric]" = {}
+
+    # ------------------------------------------------------------------
+    # Family constructors
+    # ------------------------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, **kwargs) -> _Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ConfigError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, not {cls.kind}"
+                )
+            return existing
+        metric = cls(name, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help=help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: "tuple[float, ...]" = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help=help, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    # ------------------------------------------------------------------
+    # Snapshot / round-trip
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Versioned JSON-safe view of every family and series."""
+        metrics: "dict[str, dict]" = {}
+        for name, metric in sorted(self._metrics.items()):
+            entry: dict = {"kind": metric.kind, "help": metric.help}
+            if isinstance(metric, Histogram):
+                entry["bucket_bounds"] = list(metric.buckets)
+                entry["series"] = [
+                    {
+                        "labels": dict(key),
+                        "buckets": list(value["buckets"]),
+                        "count": value["count"],
+                        "sum": value["sum"],
+                    }
+                    for key, value in metric.series_items()
+                ]
+            else:
+                entry["series"] = [
+                    {"labels": dict(key), "value": value}
+                    for key, value in metric.series_items()
+                ]
+            metrics[name] = entry
+        return {"schema": METRICS_SCHEMA_VERSION, "metrics": metrics}
+
+    @classmethod
+    def from_snapshot(cls, data: dict) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`snapshot` output."""
+        schema = data.get("schema")
+        if schema != METRICS_SCHEMA_VERSION:
+            raise ConfigError(
+                f"unsupported metrics schema {schema!r} "
+                f"(expected {METRICS_SCHEMA_VERSION})"
+            )
+        registry = cls()
+        for name, entry in data["metrics"].items():
+            kind = entry["kind"]
+            if kind == "counter":
+                metric: _Metric = registry.counter(name, help=entry["help"])
+                for series in entry["series"]:
+                    metric.inc(series["value"], **series["labels"])
+            elif kind == "gauge":
+                metric = registry.gauge(name, help=entry["help"])
+                for series in entry["series"]:
+                    metric.set(series["value"], **series["labels"])
+            elif kind == "histogram":
+                metric = registry.histogram(
+                    name,
+                    help=entry["help"],
+                    buckets=tuple(entry["bucket_bounds"]),
+                )
+                for series in entry["series"]:
+                    key = metric._series_for(series["labels"])
+                    metric._series[key] = {
+                        "buckets": list(series["buckets"]),
+                        "count": series["count"],
+                        "sum": series["sum"],
+                    }
+            else:
+                raise ConfigError(f"unknown metric kind {kind!r}")
+        return registry
+
+
+def flatten_snapshot(snapshot: dict) -> "dict[str, float]":
+    """One scalar per series: ``name{labels}`` -> value.
+
+    Histogram series flatten to their ``_count`` and ``_sum``.
+    """
+    flat: "dict[str, float]" = {}
+    for name, entry in snapshot["metrics"].items():
+        for series in entry["series"]:
+            key = _label_str(_label_key(series["labels"]))
+            suffix = f"{{{key}}}" if key else ""
+            if entry["kind"] == "histogram":
+                flat[f"{name}_count{suffix}"] = float(series["count"])
+                flat[f"{name}_sum{suffix}"] = float(series["sum"])
+            else:
+                flat[f"{name}{suffix}"] = float(series["value"])
+    return flat
+
+
+def diff_snapshots(
+    a: dict, b: dict
+) -> "list[tuple[str, float, float, float]]":
+    """Align two snapshots: ``(series, value_a, value_b, b - a)`` rows.
+
+    Series missing on one side read as 0.0, so a host-vs-PIM diff shows
+    e.g. offload counters appearing and host-atomic counters vanishing.
+    Rows are sorted by series name.
+    """
+    flat_a, flat_b = flatten_snapshot(a), flatten_snapshot(b)
+    rows = []
+    for key in sorted(set(flat_a) | set(flat_b)):
+        va = flat_a.get(key, 0.0)
+        vb = flat_b.get(key, 0.0)
+        rows.append((key, va, vb, vb - va))
+    return rows

@@ -43,6 +43,7 @@ import repro.workloads  # noqa: F401  (registry side effects for workers)
 from repro.common.errors import ReproError, RunnerError
 from repro.core.api import EvaluationReport
 from repro.core.presets import workload_graph, workload_params
+from repro.obs.logs import configure_logging, get_logger
 from repro.runner.cache import CheckpointJournal, ResultCache
 from repro.runner.fingerprint import (
     config_fingerprint,
@@ -67,6 +68,11 @@ from repro.workloads.registry import (
 )
 
 ProgressFn = Callable[[JobRecord], None]
+
+#: Parent-side structured run log.  Silent unless the embedding
+#: application (or ``RunnerConfig.log_level``) attaches a handler;
+#: workers never touch it, so pool stderr stays clean.
+_log = get_logger("runner")
 
 
 @dataclass
@@ -174,6 +180,9 @@ class ExperimentRunner:
         self._journal: Optional[CheckpointJournal] = None
         self._spec_keys: "list[str]" = []
         self._failures: "list[JobFailure]" = []
+        #: Submission timestamps by spec index, for queue-wait
+        #: attribution (turnaround minus execute seconds).
+        self._submitted: "dict[int, float]" = {}
 
     def run(
         self,
@@ -191,6 +200,10 @@ class ExperimentRunner:
         in-process.  With ``resume``, specs whose key appears in the
         cache root's checkpoint journal are skipped entirely.
         """
+        if self.config.log_level is not None:
+            configure_logging(
+                self.config.log_level, json_lines=self.config.log_json
+            )
         started = self._clock()
         records = [
             JobRecord(
@@ -202,6 +215,7 @@ class ExperimentRunner:
             for spec in specs
         ]
         self._failures = []
+        self._submitted = {}
         self._spec_keys = [
             spec_key(spec, self.config.cache_salt) for spec in specs
         ]
@@ -220,6 +234,18 @@ class ExperimentRunner:
             jobs=records,
             parallel=use_pool,
             worker_count=self.config.resolved_jobs() if use_pool else 1,
+        )
+        _log.info(
+            "grid start: %d job(s), %d pending",
+            len(specs),
+            len(pending),
+            extra={
+                "event": "grid_start",
+                "jobs_total": len(specs),
+                "jobs_pending": len(pending),
+                "parallel": use_pool,
+                "workers": report.worker_count,
+            },
         )
         outcomes: list[Optional[SpecOutcome]] = [None] * len(specs)
         if use_pool:
@@ -241,6 +267,21 @@ class ExperimentRunner:
                 )
         report.wall_seconds = self._clock() - started
         report.failures = list(self._failures)
+        _log.info(
+            "grid finish: %d job(s), %d failure(s)",
+            report.jobs_total,
+            len(report.failures),
+            extra={
+                "event": "grid_finish",
+                "jobs_total": report.jobs_total,
+                "failures": len(report.failures),
+                "cache_hits": report.cache_hits,
+                "simulations": report.simulations,
+                "retries": report.retries,
+                "total_sim_cycles": report.total_sim_cycles,
+                "wall_seconds": report.wall_seconds,
+            },
+        )
         if report.failures and not self.config.allow_partial:
             details = "; ".join(
                 f"{failure.job_id}: [{failure.kind}] {failure.message}"
@@ -270,6 +311,15 @@ class ExperimentRunner:
         for index in range(len(specs)):
             if self._spec_keys[index] in completed:
                 records[index].status = "skipped"
+                _log.info(
+                    "job skipped (resume): %s",
+                    records[index].job_id,
+                    extra={
+                        "event": "job_skipped",
+                        "job_id": records[index].job_id,
+                        "spec_key": self._spec_keys[index],
+                    },
+                )
             else:
                 pending.append(index)
         return pending
@@ -303,8 +353,18 @@ class ExperimentRunner:
                     retry.append(index)
                     continue
                 futures[future] = index
+                self._submitted[index] = self._clock()
                 records[index].status = "running"
                 records[index].executor = "worker"
+                _log.debug(
+                    "job submitted: %s",
+                    records[index].job_id,
+                    extra={
+                        "event": "job_submitted",
+                        "job_id": records[index].job_id,
+                        "spec_key": self._spec_keys[index],
+                    },
+                )
             for future, index in futures.items():
                 if self._await_future(
                     executor, future, index, specs, records, outcomes,
@@ -361,6 +421,18 @@ class ExperimentRunner:
                         progress,
                     )
                     return False
+                _log.warning(
+                    "job retry: %s (attempt %d)",
+                    record.job_id,
+                    record.attempts + 1,
+                    extra={
+                        "event": "job_retry",
+                        "job_id": record.job_id,
+                        "spec_key": self._spec_keys[index],
+                        "attempt": record.attempts + 1,
+                        "backoff_seconds": delay,
+                    },
+                )
                 self._sleep(delay)
                 delay *= config.backoff_factor
                 try:
@@ -370,6 +442,7 @@ class ExperimentRunner:
                 except (BrokenProcessPool, RuntimeError, OSError):
                     record.status = "queued"
                     return True
+                self._submitted[index] = self._clock()
                 continue
             except (BrokenProcessPool, OSError):
                 record.status = "queued"
@@ -400,6 +473,18 @@ class ExperimentRunner:
                 attempts=max(record.attempts, 1),
             )
         )
+        _log.error(
+            "job failed: %s [%s] %s",
+            record.job_id,
+            kind,
+            message,
+            extra={
+                "event": "job_failed",
+                "job_id": record.job_id,
+                "kind": kind,
+                "attempts": max(record.attempts, 1),
+            },
+        )
         if progress is not None:
             progress(record)
 
@@ -416,6 +501,7 @@ class ExperimentRunner:
         record.status = "running"
         record.executor = executor
         record.attempts += 1
+        self._submitted[index] = self._clock()
         try:
             payload = execute_spec(specs[index], self.config)
         except ReproError as error:
@@ -446,13 +532,52 @@ class ExperimentRunner:
         for label, entry in payload["modes"].items():
             outcome.results[label] = SimResult.from_dict(entry["payload"])
             outcome.cached[label] = entry["cached"]
+            if entry["cached"]:
+                _log.debug(
+                    "cache hit: %s mode %s",
+                    record.job_id,
+                    label,
+                    extra={
+                        "event": "cache_hit",
+                        "job_id": record.job_id,
+                        "spec_key": self._spec_keys[index],
+                        "mode": label,
+                    },
+                )
         outcomes[index] = outcome
         record.status = "done"
         record.wall_seconds = payload["seconds"]
+        submitted = self._submitted.get(index)
+        if submitted is not None:
+            # Turnaround minus execute time: waiting for a pool slot
+            # (plus, for pool jobs, waiting to be collected).
+            record.queue_seconds = max(
+                0.0, (self._clock() - submitted) - record.wall_seconds
+            )
+        record.sim_cycles = sum(
+            result.cycles for result in outcome.results.values()
+        )
         record.modes_cached = sum(
             1 for cached in outcome.cached.values() if cached
         )
         record.modes_simulated = record.modes_total - record.modes_cached
+        _log.info(
+            "job finished: %s (%.2fs execute, %.2fs queued)",
+            record.job_id,
+            record.wall_seconds,
+            record.queue_seconds,
+            extra={
+                "event": "job_finished",
+                "job_id": record.job_id,
+                "spec_key": self._spec_keys[index],
+                "execute_seconds": record.wall_seconds,
+                "queue_seconds": record.queue_seconds,
+                "modes_cached": record.modes_cached,
+                "modes_simulated": record.modes_simulated,
+                "sim_cycles": record.sim_cycles,
+                "attempts": record.attempts,
+            },
+        )
         if self._journal is not None:
             # Checkpoint for --resume: this spec never needs to re-run.
             self._journal.mark(self._spec_keys[index], record.job_id)

@@ -13,6 +13,12 @@ gets its own fingerprint:
 
 :func:`result_key` combines them into the object name under
 ``.repro_cache/``.
+
+Observability settings (timeline recorders, metrics registries, the
+runner's log level) are deliberately outside all three factors: they
+never live on :class:`SystemConfig`, so fingerprints — and therefore
+cache keys — are identical whether or not a run was observed.  A
+recorder cannot invalidate or churn the cache.
 """
 
 from __future__ import annotations

@@ -71,6 +71,14 @@ class RunnerConfig:
         Skip specs recorded as completed in the cache root's checkpoint
         journal (``repro run --resume``): after a killed run, only the
         remaining specs execute.  Requires ``cache_dir``.
+    log_level / log_json:
+        Structured run-log knobs (``repro run --log-level/--log-json``).
+        ``log_level`` of None leaves the logging tree untouched (library
+        default: silent); otherwise the runner configures a stderr
+        handler at that level, emitting JSON lines when ``log_json`` is
+        set.  Observability-only: neither field participates in cache
+        identity — result keys fingerprint only (trace, SystemConfig,
+        salt), so toggling logs can never churn the cache.
     """
 
     scale: Optional[str] = None
@@ -85,6 +93,8 @@ class RunnerConfig:
     backoff_factor: float = 2.0
     allow_partial: bool = False
     resume: bool = False
+    log_level: Optional[str] = None
+    log_json: bool = False
 
     def resolved_jobs(self) -> int:
         """Effective worker count (>= 1)."""
@@ -187,7 +197,14 @@ class JobRecord:
     modes_total: int = 0
     modes_cached: int = 0
     modes_simulated: int = 0
+    #: Wall seconds the job spent executing (tracing + simulating).
     wall_seconds: float = 0.0
+    #: Wall seconds between submission and the start of execution —
+    #: time spent waiting for a pool slot.  Always 0 for inline jobs.
+    queue_seconds: float = 0.0
+    #: Total simulated cycles across this job's modes (0 when cached
+    #: results carry no cycle data or the job did not finish).
+    sim_cycles: float = 0.0
     error: str = ""
     #: Execution attempts consumed (retries included); 0 when skipped.
     attempts: int = 0
@@ -203,6 +220,8 @@ class JobRecord:
             "modes_cached": self.modes_cached,
             "modes_simulated": self.modes_simulated,
             "wall_seconds": self.wall_seconds,
+            "queue_seconds": self.queue_seconds,
+            "sim_cycles": self.sim_cycles,
             "error": self.error,
             "attempts": self.attempts,
         }
@@ -247,6 +266,16 @@ class RunnerReport:
         """True when the whole grid was served from the result cache."""
         return self.jobs_total > 0 and self.simulations == 0
 
+    @property
+    def retries(self) -> int:
+        """Extra execution attempts beyond the first, grid-wide."""
+        return sum(max(job.attempts - 1, 0) for job in self.jobs)
+
+    @property
+    def total_sim_cycles(self) -> float:
+        """Simulated cycles summed over every finished job and mode."""
+        return sum(job.sim_cycles for job in self.jobs)
+
     def to_dict(self) -> dict:
         return {
             "jobs": [job.to_dict() for job in self.jobs],
@@ -261,7 +290,20 @@ class RunnerReport:
             "simulations": self.simulations,
             "cache_hits": self.cache_hits,
             "all_cached": self.all_cached,
+            "retries": self.retries,
+            "total_sim_cycles": self.total_sim_cycles,
         }
+
+    def summary_line(self) -> str:
+        """Single-line end-of-run digest (``repro run`` epilogue)."""
+        return (
+            f"done: {self.jobs_total} job(s), "
+            f"{self.cache_hits} cache hit(s), "
+            f"{len(self.failures)} failure(s), "
+            f"{self.retries} retry(ies), "
+            f"{self.total_sim_cycles:.0f} simulated cycles "
+            f"in {self.wall_seconds:.1f}s"
+        )
 
     def summary(self) -> str:
         """One-paragraph text rendering for CLI / benchmark logs."""

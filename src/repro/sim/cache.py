@@ -78,6 +78,15 @@ class CacheLevelStats:
     def from_dict(cls, data: dict) -> "CacheLevelStats":
         return cls(hits=data["hits"], misses=data["misses"])
 
+    def publish(self, registry, level: str) -> None:
+        """Register this level's counters under a ``level`` label."""
+        registry.counter(
+            "cache_hits_total", help="cache hits by level"
+        ).inc(self.hits, level=level)
+        registry.counter(
+            "cache_misses_total", help="cache misses by level"
+        ).inc(self.misses, level=level)
+
 
 class _SetAssocCache:
     """A single set-associative LRU cache holding line addresses."""

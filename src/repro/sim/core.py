@@ -75,6 +75,34 @@ class CoreStats:
     def from_dict(cls, data: dict) -> "CoreStats":
         return cls(**data)
 
+    def publish(self, registry) -> None:
+        """Register this run's core counters on a metrics registry."""
+        registry.counter(
+            "core_instructions_total", help="retired instructions"
+        ).inc(self.instructions)
+        cycles = registry.counter(
+            "core_cycles_total",
+            help="per-core cycle attribution, summed over cores",
+        )
+        cycles.inc(self.issue_cycles, kind="issue")
+        cycles.inc(self.mem_stall_cycles, kind="mem_stall")
+        cycles.inc(self.atomic_incore_cycles, kind="atomic_incore")
+        cycles.inc(self.atomic_incache_cycles, kind="atomic_incache")
+        atomics = registry.counter(
+            "core_atomics_total", help="atomic instructions by path"
+        )
+        atomics.inc(self.host_atomics, path="host")
+        atomics.inc(self.offloaded_atomics, path="offloaded")
+        atomics.inc(self.upei_cache_atomics, path="upei_cache")
+        candidates = registry.counter(
+            "core_candidate_atomics_total",
+            help="baseline offload candidates by where they hit",
+        )
+        candidates.inc(self.candidate_llc_miss, hit="llc_miss")
+        candidates.inc(self.candidate_l1_hit, hit="l1")
+        candidates.inc(self.candidate_l2_hit, hit="l2")
+        candidates.inc(self.candidate_l3_hit, hit="l3")
+
 
 class Core:
     """Replays one thread trace; shared resources are injected."""
@@ -86,6 +114,7 @@ class Core:
         config: SystemConfig,
         hierarchy: CacheHierarchy,
         memory: MemorySystem,
+        recorder=None,
     ):
         self.core_id = core_id
         self.events = events
@@ -97,6 +126,12 @@ class Core:
         self.outstanding: list[float] = []
         self.stats = CoreStats()
         self.pending_barrier: int | None = None
+        # Hoisted so the fast path is one None check per potential span.
+        self._rec = (
+            recorder if recorder is not None and recorder.enabled else None
+        )
+        if self._rec is not None:
+            self._rec.label("cores", core_id, f"core {core_id}")
 
         # Hoisted hot-path constants.
         self._inv_issue = 1.0 / config.issue_width
@@ -129,6 +164,11 @@ class Core:
         if len(out) >= self._mlp:
             earliest = heapq.heappop(out)
             if earliest > self.t:
+                if self._rec is not None:
+                    self._rec.span(
+                        "cores", self.core_id, "stall:mem",
+                        self.t, earliest - self.t,
+                    )
                 self.stats.mem_stall_cycles += earliest - self.t
                 self.t = earliest
         heapq.heappush(out, completion)
@@ -247,6 +287,7 @@ class Core:
     def _host_atomic(self, addr: int, candidate: bool, op) -> None:
         """Conventional lock-prefixed RMW in the host core."""
         stats = self.stats
+        t_start = self.t
         drain_wait = self._drain()
         level, latency, coherence_hit, writebacks = self.hierarchy.access(
             self.core_id, addr, True
@@ -280,10 +321,17 @@ class Core:
         stats.atomic_incore_cycles += incore
         stats.atomic_incache_cycles += incache
         stats.host_atomics += 1
+        if self._rec is not None:
+            self._rec.span(
+                "cores", self.core_id, "atomic:host",
+                t_start, self.t - t_start,
+                args={"op": op.name, "hit_level": level},
+            )
 
     def _pim_atomic(self, addr: int, op, with_return: bool) -> None:
         """GraphPIM: offload to the HMC logic layer via the POU."""
         command = command_for_atomic(op)
+        t_start = self.t
         completion, _returns = self.memory.pim_atomic(
             command, addr, self.t, with_return
         )
@@ -298,6 +346,12 @@ class Core:
             self.t = completion
         self.t += self._offload_issue
         self.stats.mem_stall_cycles += self._offload_issue
+        if self._rec is not None:
+            self._rec.span(
+                "cores", self.core_id, "atomic:pim",
+                t_start, self.t - t_start,
+                args={"op": op.name, "cmd": command.value},
+            )
 
     def _upei_atomic(self, addr: int, op, with_return: bool) -> None:
         """Idealized PEI: host-side execution on cache hit, else offload.
@@ -307,6 +361,7 @@ class Core:
         is free — this is the configuration's idealization.
         """
         stats = self.stats
+        t_start = self.t
         level = self.hierarchy.probe(self.core_id, addr)
         if level:
             _level, latency, _coh, _wb = self.hierarchy.access(
@@ -315,6 +370,12 @@ class Core:
             self.t += latency + self._upei_op
             stats.upei_cache_atomics += 1
             stats.atomic_incache_cycles += latency + self._upei_op
+            if self._rec is not None:
+                self._rec.span(
+                    "cores", self.core_id, "atomic:upei",
+                    t_start, self.t - t_start,
+                    args={"op": op.name, "hit_level": level},
+                )
             return
         command = command_for_atomic(op)
         self.t += self._walk_latency
@@ -332,3 +393,9 @@ class Core:
             self.t = completion
         self.t += self._offload_issue
         stats.mem_stall_cycles += self._offload_issue
+        if self._rec is not None:
+            self._rec.span(
+                "cores", self.core_id, "atomic:upei",
+                t_start, self.t - t_start,
+                args={"op": op.name, "hit_level": 0},
+            )

@@ -15,6 +15,7 @@ from repro.common.errors import SimulationError
 from repro.dram.device import DdrDevice, DdrStats
 from repro.dram.memory_system import MemorySystem
 from repro.hmc.device import HmcDevice, HmcStats
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.cache import CacheHierarchy, CacheLevelStats
 from repro.sim.config import SystemConfig
 from repro.sim.core import STEP_BARRIER, STEP_DONE, Core, CoreStats
@@ -61,8 +62,21 @@ class SimResult:
     # Serialization (result cache, worker IPC, `repro run --json`)
     # ------------------------------------------------------------------
 
-    def to_dict(self) -> dict:
-        """Stable JSON-safe payload; round-trips via :meth:`from_dict`."""
+    def to_dict(self, include_metrics: bool = False) -> dict:
+        """Stable JSON-safe payload; round-trips via :meth:`from_dict`.
+
+        ``include_metrics`` appends a ``"metrics"`` key holding the
+        versioned :class:`~repro.obs.metrics.MetricsRegistry` snapshot
+        of every stats object.  The flag defaults to off so cached
+        payloads and worker IPC stay byte-for-byte what they were;
+        :meth:`from_dict` ignores the key either way.
+        """
+        payload = self._base_dict()
+        if include_metrics:
+            payload["metrics"] = self.metrics_snapshot()
+        return payload
+
+    def _base_dict(self) -> dict:
         return {
             "schema": RESULT_SCHEMA_VERSION,
             "config": self.config.to_dict(),
@@ -114,6 +128,43 @@ class SimResult:
             ),
             cache_prefetches=data["cache_prefetches"],
         )
+
+    # ------------------------------------------------------------------
+    # Observability (repro.obs)
+    # ------------------------------------------------------------------
+
+    def publish(self, registry: MetricsRegistry) -> None:
+        """Publish every component's stats into ``registry``.
+
+        Fans out to the per-component ``publish`` hooks (core, cache
+        levels, HMC, optional DDR) and adds the run-level quantities
+        that live on the result itself.
+        """
+        self.core_stats.publish(registry)
+        for level, stats in self.cache_stats.items():
+            stats.publish(registry, level)
+        self.hmc_stats.publish(registry)
+        if self.dram_stats is not None:
+            self.dram_stats.publish(registry)
+        registry.gauge(
+            "sim_cycles", help="end-to-end simulated cycles"
+        ).set(self.cycles)
+        registry.gauge(
+            "sim_ipc", help="aggregate instructions per cycle"
+        ).set(self.ipc)
+        coherence = registry.counter(
+            "cache_coherence_events_total",
+            help="hierarchy-level coherence traffic",
+        )
+        coherence.inc(self.cache_invalidations, event="invalidation")
+        coherence.inc(self.cache_writebacks, event="writeback")
+        coherence.inc(self.cache_prefetches, event="prefetch")
+
+    def metrics_snapshot(self) -> dict:
+        """Versioned JSON snapshot of this result's metric registry."""
+        registry = MetricsRegistry()
+        self.publish(registry)
+        return registry.snapshot()
 
     # ------------------------------------------------------------------
     # Figure 9 breakdown
@@ -195,14 +246,28 @@ class SimResult:
         return stats.candidate_llc_miss / stats.candidate_total
 
 
-def simulate(trace: Trace, config: SystemConfig) -> SimResult:
-    """Replay ``trace`` under ``config`` and return aggregate results."""
+def simulate(
+    trace: Trace, config: SystemConfig, recorder=None
+) -> SimResult:
+    """Replay ``trace`` under ``config`` and return aggregate results.
+
+    ``recorder`` (a :class:`~repro.obs.timeline.TimelineRecorder`)
+    collects execution spans in simulated time; the default ``None``
+    (equivalent to the :data:`~repro.obs.timeline.NULL_RECORDER`) adds
+    no per-event work and is bit-identical to a recorded run — the
+    recorder only *observes* reservation decisions, never makes them.
+    """
     num_threads = trace.num_threads
     if num_threads > config.num_cores:
         raise SimulationError(
             f"trace has {num_threads} threads but the system has only "
             f"{config.num_cores} cores"
         )
+    rec = recorder if recorder is not None and recorder.enabled else None
+    if rec is not None:
+        # All component clocks are host-core cycles; export converts to
+        # simulated nanoseconds at the configured core frequency.
+        rec.set_time_base(1.0 / config.hmc.core_ghz)
     hierarchy = CacheHierarchy(
         num_threads,
         config.l1,
@@ -210,11 +275,11 @@ def simulate(trace: Trace, config: SystemConfig) -> SimResult:
         config.l3,
         prefetch_next_line=config.prefetch_next_line,
     )
-    hmc = HmcDevice(config.hmc, fault_plan=config.faults)
+    hmc = HmcDevice(config.hmc, fault_plan=config.faults, recorder=rec)
     dram = DdrDevice(config.dram) if config.dram is not None else None
     memory = MemorySystem(hmc, dram, config.property_hmc_fraction)
     cores = [
-        Core(i, thread.events, config, hierarchy, memory)
+        Core(i, thread.events, config, hierarchy, memory, recorder=rec)
         for i, thread in enumerate(trace.threads)
     ]
 
@@ -241,8 +306,15 @@ def simulate(trace: Trace, config: SystemConfig) -> SimResult:
             if len(at_barrier) + done_count == len(cores):
                 release_time = max(c.t for c in at_barrier)
                 for waiting in at_barrier:
+                    wait = release_time - waiting.t
+                    if rec is not None and wait > 0.0:
+                        rec.span(
+                            "cores", waiting.core_id, "stall:barrier",
+                            waiting.t, wait,
+                            args={"barrier": barrier_id},
+                        )
                     # Imbalance wait counts as backend stall time.
-                    waiting.stats.mem_stall_cycles += release_time - waiting.t
+                    waiting.stats.mem_stall_cycles += wait
                     waiting.t = release_time
                     heapq.heappush(ready, (waiting.t, waiting.core_id))
                 at_barrier = []
@@ -261,6 +333,9 @@ def simulate(trace: Trace, config: SystemConfig) -> SimResult:
     total = CoreStats()
     for core in cores:
         total.merge(core.stats)
+        if rec is not None:
+            # Whole-thread execute span; stalls/atomics nest inside it.
+            rec.span("cores", core.core_id, "core:execute", 0.0, core.t)
     cycles = max(core.t for core in cores)
     return SimResult(
         config=config,

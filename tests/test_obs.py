@@ -1,0 +1,485 @@
+"""Tests for the repro.obs observability subsystem.
+
+Covers the metrics registry (labels, snapshots, diffs), the timeline
+recorder (Chrome trace-event shape, sampling, caps), structured run
+logs, and — most importantly — the determinism guards: recording a run
+must never change its simulated outcome, serially or in parallel, with
+or without fault injection.
+"""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.cli import main
+from repro.common.errors import ConfigError
+from repro.faults import FaultPlan
+from repro.graph.generators import ldbc_like_graph
+from repro.obs import (
+    NULL_RECORDER,
+    MetricsRegistry,
+    NullRecorder,
+    TimelineRecorder,
+    configure_logging,
+    diff_snapshots,
+    flatten_snapshot,
+    get_logger,
+    reset_logging,
+    validate_trace_dict,
+)
+from repro.runner import (
+    ExperimentSpec,
+    ExperimentRunner,
+    JobRecord,
+    RunnerConfig,
+    RunnerReport,
+)
+from repro.sim.config import SystemConfig
+from repro.sim.system import simulate
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def bfs_run():
+    graph = ldbc_like_graph(300, seed=7)
+    return get_workload("BFS").run(graph, num_threads=4)
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counter_labels_and_get_or_create(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total", help="operations")
+        counter.inc(3, kind="read")
+        counter.inc(2, kind="read")
+        counter.inc(5, kind="write")
+        again = registry.counter("ops_total")
+        assert again is counter
+        flat = flatten_snapshot(registry.snapshot())
+        assert flat['ops_total{kind="read"}'] == 5
+        assert flat['ops_total{kind="write"}'] == 5
+
+    def test_counter_rejects_negative(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ConfigError):
+            counter.inc(-1)
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigError):
+            registry.gauge("x")
+
+    def test_gauge_set_and_add(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(10, queue="a")
+        gauge.add(-3, queue="a")
+        flat = flatten_snapshot(registry.snapshot())
+        assert flat['depth{queue="a"}'] == 7
+
+    def test_histogram_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        snap = registry.snapshot()
+        series = snap["metrics"]["lat"]["series"][0]
+        assert series["count"] == 3
+        assert series["sum"] == pytest.approx(55.5)
+        assert series["buckets"] == [1, 1, 1]
+        flat = flatten_snapshot(snap)
+        assert flat["lat_count"] == 3
+
+    def test_snapshot_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("a", help="h").inc(2, x="1")
+        registry.gauge("b").set(3.5)
+        registry.histogram("c").observe(12.0)
+        snap = registry.snapshot()
+        restored = MetricsRegistry.from_snapshot(snap)
+        assert restored.snapshot() == snap
+
+    def test_diff_snapshots(self):
+        one, two = MetricsRegistry(), MetricsRegistry()
+        one.counter("n").inc(1, k="a")
+        two.counter("n").inc(4, k="a")
+        two.counter("n").inc(2, k="b")
+        rows = diff_snapshots(one.snapshot(), two.snapshot())
+        as_map = {series: (va, vb, d) for series, va, vb, d in rows}
+        assert as_map['n{k="a"}'] == (1.0, 4.0, 3.0)
+        assert as_map['n{k="b"}'] == (0.0, 2.0, 2.0)
+
+
+# ----------------------------------------------------------------------
+# Timeline recorder
+# ----------------------------------------------------------------------
+
+
+class TestTimelineRecorder:
+    def test_chrome_trace_shape(self):
+        recorder = TimelineRecorder(ns_per_cycle=0.5)
+        recorder.label("cores", 0, "core 0")
+        recorder.span("cores", 0, "atomic:host", 100.0, 40.0,
+                      args={"op": "ADD"})
+        recorder.instant("hmc-link", 1, "fault:reissue", 250.0)
+        data = recorder.trace_dict()
+        validate_trace_dict(data)
+        assert data["displayTimeUnit"] == "ns"
+        spans = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 1
+        # 100 cycles * 0.5 ns/cycle = 50 ns = 0.05 us.
+        assert spans[0]["ts"] == pytest.approx(0.05)
+        assert spans[0]["dur"] == pytest.approx(0.02)
+        assert spans[0]["cat"] == "atomic"
+        instants = [e for e in data["traceEvents"] if e["ph"] == "i"]
+        assert instants[0]["s"] == "t"
+        metas = [e for e in data["traceEvents"] if e["ph"] == "M"]
+        names = {e["name"] for e in metas}
+        assert {"process_name", "thread_name"} <= names
+        assert recorder.event_count == 2
+
+    def test_tracks_get_distinct_pids(self):
+        recorder = TimelineRecorder()
+        recorder.span("cores", 0, "a", 0.0, 1.0)
+        recorder.span("hmc", 0, "b", 0.0, 1.0)
+        events = recorder.trace_dict()["traceEvents"]
+        pids = {e["name"]: e["pid"] for e in events if e["ph"] == "X"}
+        assert pids["a"] != pids["b"]
+
+    def test_sampling_keeps_one_in_n(self):
+        recorder = TimelineRecorder(sample_every=10)
+        for i in range(100):
+            recorder.span("cores", 0, "stall:mem", float(i), 1.0)
+        assert recorder.event_count == 10
+
+    def test_max_events_cap_counts_drops(self):
+        recorder = TimelineRecorder(max_events=5)
+        for i in range(20):
+            recorder.span("cores", 0, "stall:mem", float(i), 1.0)
+        assert len(recorder.trace_dict()["traceEvents"]) == 5
+        assert recorder.dropped_events > 0
+        assert (
+            recorder.trace_dict()["otherData"]["dropped_events"]
+            == recorder.dropped_events
+        )
+
+    def test_bad_knobs_raise(self):
+        with pytest.raises(ConfigError):
+            TimelineRecorder(sample_every=0)
+        with pytest.raises(ConfigError):
+            TimelineRecorder(max_events=0)
+
+    def test_validate_rejects_malformed(self):
+        with pytest.raises(ConfigError):
+            validate_trace_dict({"nope": []})
+        with pytest.raises(ConfigError):
+            validate_trace_dict({"traceEvents": [{"ph": "X", "ts": 0}]})
+        with pytest.raises(ConfigError):
+            validate_trace_dict(
+                {
+                    "traceEvents": [
+                        {
+                            "name": "a", "ph": "X", "ts": -1.0,
+                            "dur": 1.0, "pid": 0, "tid": 0,
+                        }
+                    ]
+                }
+            )
+
+    def test_null_recorder_is_inert(self, tmp_path):
+        assert NULL_RECORDER.enabled is False
+        NULL_RECORDER.span("cores", 0, "a", 0.0, 1.0)
+        NULL_RECORDER.instant("cores", 0, "b", 0.0)
+        assert NULL_RECORDER.trace_dict()["traceEvents"] == []
+        out = tmp_path / "null.json"
+        NULL_RECORDER.write(str(out))
+        validate_trace_dict(json.loads(out.read_text()))
+
+
+# ----------------------------------------------------------------------
+# Determinism guards: recording must not change simulation results
+# ----------------------------------------------------------------------
+
+
+class TestRecorderDeterminism:
+    def test_null_recorder_bit_identical(self, bfs_run):
+        config = SystemConfig.graphpim()
+        plain = simulate(bfs_run.trace, config)
+        nulled = simulate(
+            bfs_run.trace, config, recorder=NullRecorder()
+        )
+        assert plain.to_dict() == nulled.to_dict()
+
+    def test_timeline_recorder_bit_identical(self, bfs_run):
+        for config in (SystemConfig.baseline(), SystemConfig.graphpim()):
+            recorder = TimelineRecorder()
+            recorded = simulate(bfs_run.trace, config, recorder=recorder)
+            plain = simulate(bfs_run.trace, config)
+            assert plain.to_dict() == recorded.to_dict()
+            assert recorder.event_count > 0
+            validate_trace_dict(recorder.trace_dict())
+
+    def test_bit_identical_under_faults(self, bfs_run):
+        plan = FaultPlan(request_ber=1e-6, drop_rate=1e-4, seed=7)
+        config = SystemConfig.graphpim(faults=plan)
+        recorder = TimelineRecorder()
+        recorded = simulate(bfs_run.trace, config, recorder=recorder)
+        plain = simulate(bfs_run.trace, config)
+        assert plain.to_dict() == recorded.to_dict()
+
+    def test_sampling_does_not_change_results(self, bfs_run):
+        config = SystemConfig.graphpim()
+        plain = simulate(bfs_run.trace, config)
+        sampled = simulate(
+            bfs_run.trace,
+            config,
+            recorder=TimelineRecorder(sample_every=16, max_events=64),
+        )
+        assert plain.to_dict() == sampled.to_dict()
+
+    def test_runner_matches_recorded_simulate(self, tmp_path):
+        """Serial and parallel grid cycles equal a recorded local run."""
+        spec = ExperimentSpec.for_workload(
+            "BFS", "tiny", modes=[SystemConfig.graphpim()], num_threads=4
+        )
+        serial_cfg = RunnerConfig(parallel=False, cache_dir=None)
+        parallel_cfg = RunnerConfig(jobs=2, parallel=True, cache_dir=None)
+        (serial,), _ = ExperimentRunner(serial_cfg).run([spec])
+        outcomes, _ = ExperimentRunner(parallel_cfg).run([spec, spec])
+        recorder = TimelineRecorder()
+        local = simulate(
+            serial.run.trace,
+            SystemConfig.graphpim(),
+            recorder=recorder,
+        )
+        for outcome in [serial, *outcomes]:
+            assert (
+                outcome.results["GraphPIM"].cycles == local.cycles
+            )
+        assert recorder.event_count > 0
+
+
+# ----------------------------------------------------------------------
+# SimResult metrics riders
+# ----------------------------------------------------------------------
+
+
+class TestSimResultMetrics:
+    def test_to_dict_excludes_metrics_by_default(self, bfs_run):
+        result = simulate(bfs_run.trace, SystemConfig.graphpim())
+        assert "metrics" not in result.to_dict()
+
+    def test_to_dict_includes_metrics_on_request(self, bfs_run):
+        result = simulate(bfs_run.trace, SystemConfig.graphpim())
+        payload = result.to_dict(include_metrics=True)
+        snap = payload["metrics"]
+        assert snap["schema"] == 1
+        flat = flatten_snapshot(snap)
+        assert flat["sim_cycles"] == result.cycles
+        assert flat['core_atomics_total{path="offloaded"}'] > 0
+        # The rider must not break round-tripping.
+        from repro.sim.system import SimResult
+
+        restored = SimResult.from_dict(payload)
+        assert restored.to_dict() == result.to_dict()
+
+    def test_publish_covers_all_subsystems(self, bfs_run):
+        result = simulate(bfs_run.trace, SystemConfig.baseline())
+        registry = MetricsRegistry()
+        result.publish(registry)
+        names = set(registry.snapshot()["metrics"])
+        assert {
+            "core_instructions_total",
+            "core_cycles_total",
+            "cache_hits_total",
+            "hmc_requests_total",
+            "sim_cycles",
+            "sim_ipc",
+        } <= names
+
+
+# ----------------------------------------------------------------------
+# Structured run logs
+# ----------------------------------------------------------------------
+
+
+class TestRunLogs:
+    def teardown_method(self):
+        reset_logging()
+
+    def test_json_lines_parse_and_carry_extras(self):
+        stream = io.StringIO()
+        configure_logging("debug", json_lines=True, stream=stream)
+        get_logger("runner").info(
+            "job finished: %s", "BFS@tiny",
+            extra={"event": "job_finished", "spec_key": "abc"},
+        )
+        line = stream.getvalue().strip()
+        record = json.loads(line)
+        assert record["msg"] == "job finished: BFS@tiny"
+        assert record["event"] == "job_finished"
+        assert record["spec_key"] == "abc"
+        assert record["level"] == "info"
+        assert record["logger"] == "repro.runner"
+
+    def test_configure_is_idempotent(self):
+        stream = io.StringIO()
+        configure_logging("info", json_lines=True, stream=stream)
+        configure_logging("info", json_lines=True, stream=stream)
+        get_logger("runner").info("once")
+        assert len(stream.getvalue().strip().splitlines()) == 1
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        configure_logging("warning", json_lines=True, stream=stream)
+        log = get_logger("runner")
+        log.info("hidden")
+        log.warning("shown")
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["msg"] == "shown"
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError):
+            configure_logging("loud")
+
+    def test_library_is_silent_by_default(self):
+        reset_logging()
+        logger = logging.getLogger("repro")
+        assert any(
+            isinstance(h, logging.NullHandler) for h in logger.handlers
+        )
+
+
+# ----------------------------------------------------------------------
+# Runner accounting riders
+# ----------------------------------------------------------------------
+
+
+class TestRunnerAccounting:
+    def test_job_record_carries_queue_and_cycles(self):
+        record = JobRecord(job_id="X@tiny", workload="X", scale="tiny")
+        payload = record.to_dict()
+        assert payload["queue_seconds"] == 0.0
+        assert payload["sim_cycles"] == 0.0
+
+    def test_report_retries_and_total_cycles(self):
+        report = RunnerReport(
+            jobs=[
+                JobRecord(
+                    job_id="a", workload="a", scale="tiny",
+                    attempts=3, sim_cycles=100.0,
+                ),
+                JobRecord(
+                    job_id="b", workload="b", scale="tiny",
+                    attempts=1, sim_cycles=50.0,
+                ),
+            ]
+        )
+        assert report.retries == 2
+        assert report.total_sim_cycles == 150.0
+        line = report.summary_line()
+        assert "2 job(s)" in line
+        assert "2 retry(ies)" in line
+        assert "150 simulated cycles" in line
+
+    def test_grid_populates_queue_and_cycles(self):
+        spec = ExperimentSpec.for_workload(
+            "BFS", "tiny", modes=[SystemConfig.baseline()], num_threads=4
+        )
+        config = RunnerConfig(parallel=False, cache_dir=None)
+        (outcome,), report = ExperimentRunner(config).run([spec])
+        record = report.jobs[0]
+        assert record.sim_cycles == outcome.results["Baseline"].cycles
+        assert record.queue_seconds >= 0.0
+        assert report.total_sim_cycles == record.sim_cycles
+        assert report.to_dict()["retries"] == 0
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+
+
+class TestObsCli:
+    def test_obs_timeline_from_trace_file(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "bfs.npz")
+        assert main(
+            ["trace", "BFS", "--vertices", "300", "-o", trace_file]
+        ) == 0
+        capsys.readouterr()
+        out_file = str(tmp_path / "trace.json")
+        assert main(
+            ["obs", "timeline", trace_file, "-o", out_file]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "events" in out
+        data = json.loads((tmp_path / "trace.json").read_text())
+        validate_trace_dict(data)
+        assert data["traceEvents"]
+
+    def test_obs_timeline_sampling_flags(self, tmp_path, capsys):
+        out_file = str(tmp_path / "trace.json")
+        assert main(
+            [
+                "obs", "timeline", "BFS", "--vertices", "300",
+                "--sample", "10", "--max-events", "50",
+                "-o", out_file,
+            ]
+        ) == 0
+        capsys.readouterr()
+        data = json.loads((tmp_path / "trace.json").read_text())
+        validate_trace_dict(data)
+        non_meta = [e for e in data["traceEvents"] if e["ph"] != "M"]
+        assert len(non_meta) <= 50
+
+    def test_obs_metrics_diff(self, capsys):
+        assert main(
+            [
+                "obs", "metrics", "BFS", "--vertices", "300",
+                "--diff", "baseline", "graphpim",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert 'core_atomics_total{path="offloaded"}' in out
+        assert "delta" in out
+
+    def test_obs_metrics_json_snapshot(self, capsys):
+        assert main(
+            ["obs", "metrics", "BFS", "--vertices", "300", "--json"]
+        ) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["schema"] == 1
+        assert "core_atomics_total" in snap["metrics"]
+
+    def test_run_grid_summary_line_and_json_logs(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        cache_dir = str(tmp_path / "cache")
+        args = [
+            "run", "--scale", "tiny", "--no-parallel",
+            "--cache-dir", cache_dir, "--log-json",
+        ]
+        try:
+            assert main(args) == 0
+        finally:
+            reset_logging()
+        captured = capsys.readouterr()
+        assert "done:" in captured.out
+        assert "cache hit(s)" in captured.out
+        log_lines = [
+            line for line in captured.err.splitlines() if line.strip()
+        ]
+        assert log_lines
+        events = set()
+        for line in log_lines:
+            record = json.loads(line)
+            events.add(record.get("event"))
+        assert {"grid_start", "job_finished", "grid_finish"} <= events
