@@ -1,0 +1,73 @@
+"""Service overhead guard: a cache-hit round trip stays cheap.
+
+The serving tier's promise is that it adds coordination, not work: a
+spec the cache already answers must come back from ``repro serve`` in
+roughly the time a direct warm :func:`~repro.runner.engine.execute_spec`
+call takes, plus a small fixed budget for the HTTP hop (admission
+check, response-store read, JSON framing, localhost TCP).
+
+This benchmark warms the cache once, times N direct warm calls and N
+``submit``+``status`` round trips against a live :class:`ThreadedServer`
+over the same cache directory, and fails if the best-of-N service round
+trip exceeds the best-of-N direct call by more than the fixed budget.
+Absolute wall-clock budgets would flake on slow CI, so the assertion is
+relative with a generous constant.
+"""
+
+import time
+
+from repro.runner import RunnerConfig, execute_spec
+from repro.service import ServiceConfig, ThreadedServer
+from repro.service.client import ServiceClient
+from tests.test_service import make_spec
+
+#: Fixed allowance for one localhost HTTP submit + status round trip.
+SERVICE_HOP_BUDGET_S = 0.75
+ROUNDS = 5
+
+
+def _best_of(fn, rounds=ROUNDS):
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_service_cache_hit_round_trip_overhead(benchmark, tmp_path):
+    runner = RunnerConfig(cache_dir=str(tmp_path / "cache"))
+    spec = make_spec()
+    execute_spec(spec, runner)  # warm the result cache
+
+    def measure():
+        direct_s = _best_of(lambda: execute_spec(spec, runner))
+
+        config = ServiceConfig(port=0, workers=1, runner=runner)
+        with ThreadedServer(config) as server:
+            client = ServiceClient(f"http://127.0.0.1:{server.port}")
+
+            def round_trip():
+                ticket = client.submit(spec=spec)
+                status = client.wait(ticket.job_id, timeout_s=60)
+                assert status.done
+
+            round_trip()  # first hit populates the response store
+            service_s = _best_of(round_trip)
+        return direct_s, service_s
+
+    direct_s, service_s = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    print()
+    print(
+        f"direct warm execute_spec : {direct_s * 1e3:8.2f} ms\n"
+        f"service round trip       : {service_s * 1e3:8.2f} ms\n"
+        f"hop overhead             : {(service_s - direct_s) * 1e3:8.2f} ms"
+        f" (budget {SERVICE_HOP_BUDGET_S * 1e3:.0f} ms)"
+    )
+    assert service_s <= direct_s + SERVICE_HOP_BUDGET_S, (
+        f"service cache-hit round trip ({service_s:.3f}s) exceeded the "
+        f"direct warm call ({direct_s:.3f}s) by more than "
+        f"{SERVICE_HOP_BUDGET_S:.2f}s"
+    )

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# CI gate: style lint, type check, tier-1 tests, and a trace-lint smoke
-# run over a freshly generated workload trace.
+# CI gate: style lint, type check, tier-1 tests, trace-lint and
+# fault-injection smoke runs, observability smoke, and an end-to-end
+# smoke of the simulation service (boot, submit, SIGTERM drain).
 #
 # ruff and mypy are optional (the offline test image ships without
 # them); when absent the step is skipped with a notice instead of
@@ -142,6 +143,17 @@ else
     failures=$((failures + 1))
 fi
 rm -rf "$obs_dir"
+
+step "repro serve (service smoke: boot, submit, drain)"
+# Boots the real service on an ephemeral port, submits a tiny job,
+# polls it to completion, scrapes /metrics, SIGTERMs the process, and
+# asserts a zero exit code with an empty queue journal.
+if command -v timeout >/dev/null 2>&1; then
+    run_or_fail timeout --signal=KILL 420 \
+        python scripts/service_smoke.py
+else
+    run_or_fail python scripts/service_smoke.py
+fi
 
 echo
 if [ "$failures" -ne 0 ]; then

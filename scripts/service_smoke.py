@@ -1,0 +1,133 @@
+"""End-to-end smoke test for ``repro serve``, driven by check.sh.
+
+Boots the real service as a subprocess on an ephemeral port, exercises
+the full serving contract once, and checks the SIGTERM drain promise:
+
+1. start ``python -m repro serve --port 0`` and parse the announce
+   line for the bound port;
+2. wait for ``/readyz``;
+3. submit one tiny job through the typed client and poll it to
+   completion;
+4. resubmit the identical spec and require a bit-identical response;
+5. scrape ``/metrics`` and require the service metric families;
+6. send SIGTERM and require exit code 0 within the drain window;
+7. require an empty queue journal — a clean drain leaves no
+   ``service_queue.jsonl`` behind.
+
+Exit code 0 means every step passed.  Run directly::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.service import QUEUE_CHECKPOINT_FILENAME
+from repro.service.client import ServiceClient
+
+
+def fail(message):
+    print(f"service smoke FAILED: {message}", file=sys.stderr)
+    return 1
+
+
+def main():
+    with tempfile.TemporaryDirectory(prefix="repro-svc-smoke-") as tmp:
+        cache_dir = os.path.join(tmp, "cache")
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0",
+                "--workers", "1",
+                "--cache-dir", cache_dir,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            return drive(process, cache_dir)
+        finally:
+            if process.poll() is None:
+                process.kill()
+            process.wait(timeout=10)
+
+
+def drive(process, cache_dir):
+    # 1. the announce line carries the ephemeral port
+    line = process.stdout.readline()
+    match = re.search(r"listening on http://([\d.]+):(\d+)", line)
+    if not match:
+        return fail(f"unexpected announce line: {line!r}")
+    host, port = match.group(1), int(match.group(2))
+    client = ServiceClient(f"http://{host}:{port}", client_id="smoke")
+
+    # 2. readiness
+    deadline = time.monotonic() + 30
+    while not client.ready():
+        if time.monotonic() > deadline:
+            return fail("service never became ready")
+        time.sleep(0.1)
+    print(f"service smoke: ready on port {port}")
+
+    # 3. one tiny job, submitted and polled to completion
+    status = client.submit_and_wait(
+        timeout_s=240,
+        workload="BFS",
+        scale="tiny",
+        modes=["baseline", "graphpim"],
+    )
+    results = status.results
+    if set(results) != {"Baseline", "GraphPIM"}:
+        return fail(f"unexpected result modes: {sorted(results)}")
+    cycles = results["GraphPIM"]["cycles"]
+    print(f"service smoke: job done (GraphPIM {cycles:.0f} cycles)")
+
+    # 4. identical resubmission answers bit-identically
+    again = client.submit(
+        workload="BFS", scale="tiny", modes=["baseline", "graphpim"]
+    )
+    if not again.done:
+        return fail(f"resubmission not answered from memory: {again}")
+    if client.status(again.job_id).raw != status.raw:
+        return fail("resubmitted response bytes differ")
+    print("service smoke: duplicate answered bit-identically")
+
+    # 5. metrics exposition
+    metrics = client.metrics_text()
+    for family in (
+        "service_queue_depth",
+        "service_jobs_total",
+        "service_coalesced_hits_total",
+        "service_rejected_total",
+        "service_request_seconds_bucket",
+    ):
+        if family not in metrics:
+            return fail(f"/metrics is missing {family}")
+    print("service smoke: /metrics exposes the service families")
+
+    # 6. SIGTERM drains and exits 0
+    process.send_signal(signal.SIGTERM)
+    try:
+        code = process.wait(timeout=60)
+    except subprocess.TimeoutExpired:
+        return fail("service did not exit within 60s of SIGTERM")
+    if code != 0:
+        print(process.stdout.read(), file=sys.stderr)
+        return fail(f"service exited {code} after SIGTERM")
+
+    # 7. a clean drain leaves no queue journal
+    journal = os.path.join(cache_dir, QUEUE_CHECKPOINT_FILENAME)
+    if os.path.exists(journal) and os.path.getsize(journal):
+        return fail(f"drain left a non-empty queue journal: {journal}")
+    print("service smoke: SIGTERM drain exited 0, queue journal empty")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

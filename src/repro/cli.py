@@ -11,6 +11,10 @@
     python -m repro cache                # result-cache statistics
     python -m repro cache --clear
     python -m repro cache --verify       # quarantine corrupt entries
+    python -m repro cache --prune --max-mb 256   # LRU size bound
+    python -m repro serve --port 8477    # simulation-as-a-service
+    python -m repro submit BFS --scale tiny      # query a service
+    python -m repro status <job-id>
     python -m repro trace DC --vertices 2000 -o dc.npz
     python -m repro simulate dc.npz --mode graphpim
     python -m repro experiment fig07 --scale small
@@ -179,6 +183,165 @@ def _build_parser() -> argparse.ArgumentParser:
         help="scan all entries; quarantine corrupt or stale ones",
     )
     cache.add_argument(
+        "--prune",
+        action="store_true",
+        help="evict least-recently-used entries until the cache fits "
+        "--max-mb",
+    )
+    cache.add_argument(
+        "--max-mb",
+        type=float,
+        default=512.0,
+        metavar="MB",
+        help="size budget for --prune (default: 512)",
+    )
+    cache.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the simulation service (HTTP/JSON API over the "
+        "experiment runner)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP port (default: 8477; 0 binds an ephemeral port)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="concurrent simulation slots (default: 2)",
+    )
+    serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=64,
+        help="admitted-job bound; submissions beyond it get 429 "
+        "(default: 64)",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=0.0,
+        metavar="RPS",
+        help="per-client sustained submissions/second (0 = unlimited)",
+    )
+    serve.add_argument(
+        "--rate-burst",
+        type=int,
+        default=16,
+        help="per-client burst size for --rate-limit (default: 16)",
+    )
+    serve.add_argument(
+        "--prune-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="prune the result cache to --max-cache-mb on this cadence "
+        "(0 = never)",
+    )
+    serve.add_argument(
+        "--max-cache-mb",
+        type=float,
+        default=512.0,
+        help="cache size budget for the pruning timer (default: 512)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache root (default: .repro_cache)",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="serve without a persistent cache (no short-circuit, no "
+        "drain checkpoint)",
+    )
+    serve.add_argument(
+        "--strict",
+        action="store_true",
+        help="static-analysis pre-flight on every traced workload",
+    )
+    serve.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="emit structured service logs on stderr at this level",
+    )
+    serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="format service logs as JSON lines (implies --log-level "
+        "info unless set)",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit one experiment to a running service"
+    )
+    submit.add_argument("workload", help="workload code, e.g. BFS")
+    submit.add_argument(
+        "--url",
+        default=None,
+        help="service base URL (default: $REPRO_SERVICE_URL or "
+        "http://127.0.0.1:8477)",
+    )
+    submit.add_argument(
+        "--scale", choices=("tiny", "small", "paper"), default=None
+    )
+    submit.add_argument(
+        "--modes",
+        default="baseline,graphpim",
+        metavar="CSV",
+        help="mode presets to simulate (default: baseline,graphpim)",
+    )
+    submit.add_argument("--threads", type=int, default=16)
+    submit.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="fault-injection plan, e.g. ber=1e-6,seed=7",
+    )
+    submit.add_argument(
+        "--priority",
+        choices=("interactive", "batch"),
+        default="interactive",
+    )
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the job id and return without polling",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="polling budget with --wait (default: 600)",
+    )
+    submit.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    status = sub.add_parser(
+        "status", help="query a job (or the health) of a running service"
+    )
+    status.add_argument(
+        "job_id",
+        nargs="?",
+        help="job id from `repro submit`; omit for service health",
+    )
+    status.add_argument(
+        "--url",
+        default=None,
+        help="service base URL (default: $REPRO_SERVICE_URL or "
+        "http://127.0.0.1:8477)",
+    )
+    status.add_argument(
         "--json", action="store_true", help="machine-readable output"
     )
 
@@ -501,6 +664,18 @@ def _cmd_cache(args) -> int:
         else:
             print(f"cleared {removed} cached result(s) from {cache_dir}")
         return 0
+    if args.prune:
+        outcome = cache.prune(int(args.max_mb * 1024 * 1024))
+        if args.json:
+            print(json.dumps({**outcome, **cache.info()}, indent=2))
+        else:
+            print(
+                f"pruned {outcome['removed']} entr(ies) "
+                f"({outcome['freed_bytes'] / 1024:.1f} KiB); "
+                f"{outcome['kept']} kept, "
+                f"{outcome['size_bytes'] / 1024:.1f} KiB in cache"
+            )
+        return 0
     if args.verify:
         outcome = cache.verify()
         if args.json:
@@ -521,6 +696,128 @@ def _cmd_cache(args) -> int:
         print(f"cache root : {info['root']}")
         print(f"entries    : {info['entries']}")
         print(f"size       : {info['size_bytes'] / 1024:.1f} KiB")
+    return 0
+
+
+def _service_url(args) -> str:
+    return (
+        args.url
+        or os.environ.get("REPRO_SERVICE_URL")
+        or "http://127.0.0.1:8477"
+    )
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.obs.logs import configure_logging
+    from repro.runner import RunnerConfig
+    from repro.service import DEFAULT_PORT, ServiceConfig, serve_async
+
+    log_level = args.log_level
+    if log_level is None and args.log_json:
+        log_level = "info"
+    if log_level is not None:
+        configure_logging(log_level, json_lines=args.log_json)
+    config = ServiceConfig(
+        host=args.host,
+        port=DEFAULT_PORT if args.port is None else args.port,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        rate_limit_rps=args.rate_limit,
+        rate_limit_burst=args.rate_burst,
+        prune_interval_s=args.prune_interval,
+        max_cache_mb=args.max_cache_mb,
+        runner=RunnerConfig(
+            strict=args.strict,
+            cache_dir=_resolve_cache_dir(args),
+        ),
+    )
+
+    def announce(line: str) -> None:
+        print(line, flush=True)
+
+    try:
+        return asyncio.run(serve_async(config, announce=announce))
+    except KeyboardInterrupt:
+        # Ctrl-C before the loop's signal handler was installed.
+        return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(_service_url(args))
+    modes = [part.strip() for part in args.modes.split(",") if part.strip()]
+    ticket = client.submit(
+        workload=args.workload,
+        scale=args.scale,
+        modes=modes,
+        threads=args.threads,
+        faults=args.faults,
+        priority=args.priority,
+    )
+    if args.no_wait:
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "job_id": ticket.job_id,
+                        "status": ticket.status,
+                        "outcome": ticket.outcome,
+                    }
+                )
+            )
+        else:
+            print(f"job    : {ticket.job_id}")
+            print(f"status : {ticket.status} ({ticket.outcome})")
+            print(f"poll   : repro status {ticket.job_id}")
+        return 0
+    status = client.wait(ticket.job_id, timeout_s=args.timeout)
+    if args.json:
+        sys.stdout.buffer.write(status.raw)
+        if not status.raw.endswith(b"\n"):
+            sys.stdout.buffer.write(b"\n")
+        return 0
+    print(f"job      : {ticket.job_id} ({ticket.outcome})")
+    for label, payload in sorted(status.results.items()):
+        print(f"{label:10s} {payload['cycles']:14.0f} cycles")
+    baseline = status.results.get("Baseline")
+    graphpim = status.results.get("GraphPIM")
+    if baseline and graphpim and graphpim["cycles"]:
+        print(
+            f"speedup  : "
+            f"{baseline['cycles'] / graphpim['cycles']:.2f}x"
+        )
+    return 0
+
+
+def _cmd_status(args) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(_service_url(args))
+    if args.job_id is None:
+        health = client.health()
+        if args.json:
+            print(json.dumps(health, indent=2))
+            return 0
+        print(f"status   : {health.get('status')}")
+        print(f"draining : {health.get('draining')}")
+        print(f"queued   : {health.get('queued')}")
+        print(f"inflight : {health.get('inflight')}")
+        return 0
+    status = client.status(args.job_id)
+    if args.json:
+        sys.stdout.buffer.write(status.raw)
+        if not status.raw.endswith(b"\n"):
+            sys.stdout.buffer.write(b"\n")
+        return 0
+    print(f"job    : {status.job_id}")
+    print(f"status : {status.status}")
+    if status.error:
+        print(f"error  : {status.error}")
+    for label, payload in sorted(status.results.items()):
+        print(f"{label:10s} {payload['cycles']:14.0f} cycles")
     return 0
 
 
@@ -731,6 +1028,9 @@ _COMMANDS = {
     "workloads": _cmd_workloads,
     "run": _cmd_run,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
     "trace": _cmd_trace,
     "simulate": _cmd_simulate,
     "experiment": _cmd_experiment,

@@ -39,6 +39,17 @@ class RunnerError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """The simulation service could not accept or answer a request.
+
+    Raised client-side by :mod:`repro.service.client` for transport and
+    protocol failures, and broker-side by the admission-control
+    subclasses in :mod:`repro.service.broker` (queue full, rate
+    limited, draining) — each of which carries a ``retry_after_s``
+    hint that the HTTP layer surfaces as a ``Retry-After`` header.
+    """
+
+
 class AnalysisError(ReproError):
     """Static analysis found ERROR-severity invariant violations.
 

@@ -22,8 +22,12 @@ churn cache keys or alter simulation results.
 from repro.obs.logs import (
     JsonLineFormatter,
     configure_logging,
+    current_request_id,
     get_logger,
+    request_id_context,
     reset_logging,
+    reset_request_id,
+    set_request_id,
 )
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -34,6 +38,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     diff_snapshots,
     flatten_snapshot,
+    render_prometheus,
 )
 from repro.obs.timeline import (
     NULL_RECORDER,
@@ -56,9 +61,14 @@ __all__ = [
     "NullRecorder",
     "TimelineRecorder",
     "configure_logging",
+    "current_request_id",
     "diff_snapshots",
     "flatten_snapshot",
     "get_logger",
+    "render_prometheus",
+    "request_id_context",
     "reset_logging",
+    "reset_request_id",
+    "set_request_id",
     "validate_trace_dict",
 ]

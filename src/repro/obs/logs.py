@@ -1,24 +1,45 @@
-"""Structured run logging for the experiment runner.
+"""Structured run logging for the experiment runner and service.
 
 The runner emits job lifecycle events (``grid_start``, ``job_finished``,
-``job_retry``, ``job_failed``, ``cache_hit``, ``grid_finish``) through
-the standard :mod:`logging` machinery under the ``repro.runner`` logger.
-By default the library stays silent (a ``NullHandler`` on the ``repro``
-root); :func:`configure_logging` attaches a stderr handler rendering
-either human-readable lines or one JSON object per line
+``job_retry``, ``job_failed``, ``cache_hit``, ``grid_finish``) and the
+service emits request/broker events (``request``, ``job_accepted``,
+``job_done``, ``drain_start``, ...) through the standard :mod:`logging`
+machinery under the ``repro`` logger tree.  By default the library
+stays silent (a ``NullHandler`` on the ``repro`` root);
+:func:`configure_logging` attaches a stderr handler rendering either
+human-readable lines or one JSON object per line
 (``repro run --log-level info --log-json``).
 
 Structured fields travel in ``extra=``; every event carries an
 ``event`` field naming it, so machine consumers filter on
 ``{"event": "job_finished", ...}`` instead of parsing message text.
+
+Request correlation
+-------------------
+
+Long-lived processes (``repro serve``) interleave log lines from many
+concurrent requests.  :func:`request_id_context` binds a request id in
+a :class:`contextvars.ContextVar`, which is asyncio-task-local, so
+every record logged while handling a request — by the HTTP layer, the
+broker, or the runner underneath — carries a ``request_id`` field in
+the JSON output without any plumbing through call signatures.
+
+:func:`configure_logging` is safe to call repeatedly from both the
+service and an already-configured CLI run: the previously installed
+obs handler is replaced (never duplicated), structured extras are
+preserved across reconfiguration, and propagation to the application
+root logger is disabled while an obs handler is attached so an
+embedding application's own root handler cannot double-print.
 """
 
 from __future__ import annotations
 
+import contextvars
 import json
 import logging
 import sys
-from typing import IO, Optional
+from contextlib import contextmanager
+from typing import IO, Iterator, Optional
 
 #: Attributes present on every LogRecord; anything else is a
 #: caller-supplied structured field and belongs in the JSON payload.
@@ -38,9 +59,45 @@ _OBS_HANDLER_FLAG = "_repro_obs_handler"
 
 _ROOT_LOGGER = "repro"
 
+#: Task-local (and thread-local) request id for log correlation.
+_request_id: "contextvars.ContextVar[Optional[str]]" = (
+    contextvars.ContextVar("repro_request_id", default=None)
+)
+
+
+def current_request_id() -> Optional[str]:
+    """The request id bound in the current context, or None."""
+    return _request_id.get()
+
+
+def set_request_id(request_id: Optional[str]) -> "contextvars.Token":
+    """Bind ``request_id`` in the current context; returns the token."""
+    return _request_id.set(request_id)
+
+
+def reset_request_id(token: "contextvars.Token") -> None:
+    """Undo a :func:`set_request_id` binding."""
+    _request_id.reset(token)
+
+
+@contextmanager
+def request_id_context(request_id: str) -> Iterator[str]:
+    """Bind a request id for the duration of a ``with`` block."""
+    token = set_request_id(request_id)
+    try:
+        yield request_id
+    finally:
+        reset_request_id(token)
+
 
 class JsonLineFormatter(logging.Formatter):
-    """One JSON object per record: timestamp, level, message, extras."""
+    """One JSON object per record: timestamp, level, message, extras.
+
+    When a request id is bound (:func:`request_id_context`) and the
+    record does not already carry one via ``extra=``, a ``request_id``
+    field is added — the correlation key across every line one service
+    request produced.
+    """
 
     def format(self, record: logging.LogRecord) -> str:
         payload = {
@@ -53,6 +110,10 @@ class JsonLineFormatter(logging.Formatter):
             if key in _RESERVED_ATTRS or key.startswith("_"):
                 continue
             payload[key] = value
+        if "request_id" not in payload:
+            request_id = _request_id.get()
+            if request_id is not None:
+                payload["request_id"] = request_id
         return json.dumps(payload, sort_keys=True, default=str)
 
 
@@ -72,7 +133,11 @@ def configure_logging(
     """Attach (or replace) the obs handler on the ``repro`` logger.
 
     Idempotent: a prior obs-installed handler is removed first, so CLI
-    code and the runner may both call this without duplicating output.
+    code, the runner, and a long-lived service may all call this (in
+    any order, repeatedly) without duplicating output or dropping the
+    structured extras the JSON formatter renders.  While an obs handler
+    is attached, the ``repro`` tree stops propagating to the
+    application root logger so records cannot be emitted twice.
     Returns the configured root library logger.
     """
     try:
@@ -92,6 +157,7 @@ def configure_logging(
     setattr(handler, _OBS_HANDLER_FLAG, True)
     root.addHandler(handler)
     root.setLevel(levelno)
+    root.propagate = False
     return root
 
 
@@ -102,3 +168,4 @@ def reset_logging() -> None:
         if getattr(handler, _OBS_HANDLER_FLAG, False):
             root.removeHandler(handler)
             handler.close()
+    root.propagate = True

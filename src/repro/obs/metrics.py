@@ -297,6 +297,80 @@ def flatten_snapshot(snapshot: dict) -> "dict[str, float]":
     return flat
 
 
+def _prom_value(value: float) -> str:
+    """Render a sample value the Prometheus exposition way."""
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _prom_labels(labels: dict, extra: "Optional[dict]" = None) -> str:
+    """Render a label set as ``{a="1",b="x"}`` (empty string if none)."""
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    parts = []
+    for name, value in sorted(merged.items()):
+        escaped = (
+            str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+        )
+        parts.append(f'{name}="{escaped}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as Prometheus text.
+
+    Produces the version-0.0.4 exposition format the ``/metrics``
+    endpoint of ``repro serve`` returns: ``# HELP`` / ``# TYPE``
+    headers per family, one sample line per labeled series.  The
+    registry's non-cumulative histogram buckets are converted to the
+    cumulative ``le``-labeled form Prometheus expects (including the
+    trailing ``+Inf`` bucket and the ``_count`` / ``_sum`` samples).
+    """
+    lines: "list[str]" = []
+    for name, entry in sorted(snapshot["metrics"].items()):
+        if entry["help"]:
+            lines.append(f"# HELP {name} {entry['help']}")
+        lines.append(f"# TYPE {name} {entry['kind']}")
+        if entry["kind"] == "histogram":
+            bounds = entry["bucket_bounds"]
+            for series in entry["series"]:
+                labels = series["labels"]
+                cumulative = 0
+                for bound, count in zip(bounds, series["buckets"]):
+                    cumulative += count
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_prom_labels(labels, {'le': _prom_value(bound)})}"
+                        f" {cumulative}"
+                    )
+                lines.append(
+                    f"{name}_bucket{_prom_labels(labels, {'le': '+Inf'})}"
+                    f" {series['count']}"
+                )
+                lines.append(
+                    f"{name}_count{_prom_labels(labels)} {series['count']}"
+                )
+                lines.append(
+                    f"{name}_sum{_prom_labels(labels)} "
+                    f"{_prom_value(series['sum'])}"
+                )
+        else:
+            for series in entry["series"]:
+                lines.append(
+                    f"{name}{_prom_labels(series['labels'])} "
+                    f"{_prom_value(series['value'])}"
+                )
+    return "\n".join(lines) + "\n"
+
+
 def diff_snapshots(
     a: dict, b: dict
 ) -> "list[tuple[str, float, float, float]]":

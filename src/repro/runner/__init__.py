@@ -30,6 +30,7 @@ from repro.runner.engine import (
     SpecOutcome,
     evaluation_grid_specs,
     execute_spec,
+    execute_spec_async,
     motivation_extra_specs,
     plain_atomics_specs,
     run_evaluation_grid,
@@ -69,6 +70,7 @@ __all__ = [
     "config_fingerprint",
     "evaluation_grid_specs",
     "execute_spec",
+    "execute_spec_async",
     "motivation_extra_specs",
     "plain_atomics_specs",
     "result_key",

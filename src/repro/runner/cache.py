@@ -58,6 +58,11 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            # Refresh mtime so LRU pruning sees the hit as recent use.
+            os.utime(path)
+        except OSError:
+            pass
         return payload
 
     def put(self, key: str, payload: dict) -> None:
@@ -121,6 +126,51 @@ class ResultCache:
                     pass
         CheckpointJournal(self.root).clear()
         return removed
+
+    def prune(self, max_bytes: int) -> dict:
+        """Evict least-recently-used objects until the cache fits.
+
+        Objects are ranked by mtime, which :meth:`get` refreshes on
+        every hit, so eviction order approximates true LRU.  Entries
+        are removed oldest-first until the total size is at most
+        ``max_bytes`` (0 empties the cache).  The checkpoint journal is
+        left alone — a journal entry only promises the *spec* completed
+        once; its cached objects regenerating later is just a cache
+        miss, not a correctness problem.  A long-lived ``repro serve``
+        process calls this on a timer so it can never fill the disk.
+
+        Returns ``{"removed", "freed_bytes", "kept", "size_bytes"}``.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries: "list[tuple[float, int, Path]]" = []
+        if self._objects.is_dir():
+            for path in self._objects.glob("*.json"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue  # raced with a concurrent clear/prune
+                entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()
+        total = sum(size for _, size, _ in entries)
+        removed = 0
+        freed = 0
+        for _, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            freed += size
+            removed += 1
+        return {
+            "removed": removed,
+            "freed_bytes": freed,
+            "kept": len(entries) - removed,
+            "size_bytes": total,
+        }
 
     def verify(self) -> dict:
         """Scan every object; quarantine corrupt or stale entries.

@@ -153,6 +153,46 @@ class ExperimentSpec:
     def params_dict(self) -> dict:
         return dict(self.params)
 
+    # ------------------------------------------------------------------
+    # Serialization (service wire format, queue checkpoints)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe mapping that round-trips via :meth:`from_dict`.
+
+        This is the service wire format: ``repro submit`` posts it,
+        the broker's drain checkpoint persists it, and
+        :func:`~repro.runner.fingerprint.spec_key` is stable across the
+        round trip (modes serialize through ``SystemConfig.to_dict``,
+        the same canonical form the fingerprint hashes).
+        """
+        return {
+            "workload": self.workload,
+            "scale": self.scale,
+            "modes": [mode.to_dict() for mode in self.modes],
+            "num_threads": self.num_threads,
+            "plain_atomics": self.plain_atomics,
+            "params": [[name, value] for name, value in self.params],
+            "strict_exempt": self.strict_exempt,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSpec":
+        return cls(
+            workload=data["workload"],
+            scale=data["scale"],
+            modes=tuple(
+                SystemConfig.from_dict(mode) for mode in data["modes"]
+            ),
+            num_threads=data.get("num_threads", 16),
+            plain_atomics=data.get("plain_atomics", False),
+            params=tuple(
+                sorted((str(name), value) for name, value in
+                       data.get("params", []))
+            ),
+            strict_exempt=data.get("strict_exempt", False),
+        )
+
     @property
     def job_id(self) -> str:
         """Human-readable identity within one grid."""

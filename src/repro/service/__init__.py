@@ -1,0 +1,82 @@
+"""Simulation-as-a-service: serve (trace, config, faults) queries.
+
+PRs 2–4 built the substrate a serving tier needs — a content-addressed
+result cache, a resilient experiment runner, and an observability
+layer.  This package puts an API on top: ``repro serve`` runs a
+long-lived, zero-dependency asyncio HTTP/JSON service that answers
+:class:`~repro.runner.spec.ExperimentSpec` queries, and
+:mod:`repro.service.client` is its typed client.
+
+The interesting part is the :class:`~repro.service.broker.JobBroker`
+between the HTTP frontend and the runner:
+
+- **single-flight coalescing** on the content-addressed
+  :func:`~repro.runner.fingerprint.spec_key` — N identical concurrent
+  submissions execute exactly one simulation, and every caller gets
+  bit-identical response bytes;
+- **cache short-circuit** — previously answered specs complete at
+  admission time, before the queue;
+- **bounded backpressure** — a capacity-limited admission queue
+  (HTTP 429 + ``Retry-After``) and per-client token-bucket rate
+  limiting keep memory and load bounded;
+- **priority lanes** — interactive what-ifs overtake batch sweeps;
+- **graceful drain** — SIGTERM finishes in-flight jobs, rejects new
+  ones (``/readyz`` flips to 503 first), and checkpoints the unstarted
+  queue in the PR 3 journal format for the next boot to restore.
+
+Deployment knobs live on :class:`~repro.service.config.ServiceConfig`
+and never enter :class:`~repro.sim.config.SystemConfig`, so cache
+fingerprints are identical between CLI runs and served runs.
+"""
+
+from repro.service.broker import (
+    AdmissionError,
+    DrainingError,
+    Job,
+    JobBroker,
+    QueueFullError,
+    RateLimitedError,
+    TokenBucket,
+    canonical_json,
+)
+from repro.service.client import (
+    ClientBackpressureError,
+    JobFailedError,
+    JobStatus,
+    ServiceClient,
+    SubmitTicket,
+)
+from repro.service.config import (
+    DEFAULT_PORT,
+    QUEUE_CHECKPOINT_FILENAME,
+    ServiceConfig,
+)
+from repro.service.http import (
+    ServiceServer,
+    ThreadedServer,
+    serve_async,
+    spec_from_request,
+)
+
+__all__ = [
+    "AdmissionError",
+    "ClientBackpressureError",
+    "DEFAULT_PORT",
+    "DrainingError",
+    "Job",
+    "JobBroker",
+    "JobFailedError",
+    "JobStatus",
+    "QUEUE_CHECKPOINT_FILENAME",
+    "QueueFullError",
+    "RateLimitedError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceServer",
+    "SubmitTicket",
+    "ThreadedServer",
+    "TokenBucket",
+    "canonical_json",
+    "serve_async",
+    "spec_from_request",
+]

@@ -1,0 +1,760 @@
+"""Job broker: admission control between the HTTP frontend and runner.
+
+The broker is the service's state machine.  One submitted
+:class:`~repro.runner.spec.ExperimentSpec` becomes one :class:`Job`
+whose identity *is* its content hash
+(:func:`~repro.runner.fingerprint.spec_key`), which buys three
+properties for free:
+
+- **single-flight coalescing** — N concurrent submissions of the same
+  spec map onto one Job; exactly one simulation runs and every caller
+  polls the same job id and receives the same canonical response bytes;
+- **cache short-circuit** — a spec whose response is already in the
+  on-disk response store completes at admission time without ever
+  entering the queue (no tracing, no simulation);
+- **idempotent retries** — a client that times out and resubmits can
+  never duplicate work.
+
+Admission control is explicit and bounded:
+
+- a per-client token bucket (``rate_limit_rps`` / ``rate_limit_burst``)
+  rejects chatty clients with :class:`RateLimitedError`;
+- a bounded admission count (``queue_capacity`` over both priority
+  lanes) rejects overload with :class:`QueueFullError` — queue memory
+  can never grow without bound;
+- two priority lanes (``interactive`` drains before ``batch``) keep
+  small what-if queries responsive under bulk sweeps.
+
+Graceful drain (:meth:`JobBroker.drain`, wired to SIGTERM by
+``repro serve``): new submissions are rejected with
+:class:`DrainingError`, in-flight jobs run to completion (bounded by
+``drain_timeout_s``), and queued-but-unstarted jobs are checkpointed to
+``service_queue.jsonl`` under the cache root — the PR 3 journal format
+(one JSON object per line, torn-line tolerant) — which
+:meth:`JobBroker.start` restores and clears on the next boot.  A drain
+with nothing queued leaves no checkpoint behind.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.common.errors import ReproError, ServiceError
+from repro.obs.logs import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.runner.cache import ResultCache
+from repro.runner.engine import execute_spec
+from repro.runner.fingerprint import spec_key
+from repro.runner.spec import ExperimentSpec
+from repro.service.config import QUEUE_CHECKPOINT_FILENAME, ServiceConfig
+
+_log = get_logger("service")
+
+#: Priority lanes in drain order: interactive jobs always pop first.
+LANES = ("interactive", "batch")
+
+#: Request-latency-ish histogram bounds in seconds (simulations run
+#: from milliseconds at tiny scale to minutes at paper scale).
+EXECUTE_SECONDS_BUCKETS = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+    60.0, 120.0,
+)
+
+
+class AdmissionError(ServiceError):
+    """A submission was rejected by admission control."""
+
+    #: Machine-readable rejection reason (metrics label, JSON field).
+    reason = "rejected"
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class QueueFullError(AdmissionError):
+    """The bounded admission queue is at capacity (HTTP 429)."""
+
+    reason = "backpressure"
+
+
+class RateLimitedError(AdmissionError):
+    """The client's token bucket is empty (HTTP 429)."""
+
+    reason = "rate_limited"
+
+
+class DrainingError(AdmissionError):
+    """The broker is draining and accepts no new work (HTTP 503)."""
+
+    reason = "draining"
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.rate = rate
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._updated) * self.rate
+        )
+        self._updated = now
+
+    def try_acquire(self) -> bool:
+        """Take one token if available."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def retry_after_s(self) -> float:
+        """Seconds until one token will be available."""
+        self._refill()
+        if self._tokens >= 1.0 or self.rate <= 0:
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+
+def canonical_json(payload: dict) -> bytes:
+    """The one serialization used for every job response.
+
+    Sorted keys, no whitespace: two renderings of equal payloads are
+    equal *bytes*, which is what makes the coalescing bit-identity
+    guarantee checkable with ``==`` on raw HTTP bodies.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+@dataclass
+class Job:
+    """One unit of service work, identified by its spec's content hash."""
+
+    job_id: str  # == spec_key(spec)
+    spec: ExperimentSpec
+    priority: str
+    status: str = "queued"  # queued|running|done|failed|checkpointed
+    error: str = ""
+    #: Extra submissions that mapped onto this job while it was live.
+    coalesced: int = 0
+    #: True when admission answered from the response store (no queue).
+    from_cache: bool = False
+    #: Canonical response body once terminal-with-results.
+    result_bytes: Optional[bytes] = None
+    execute_seconds: float = 0.0
+    done_event: asyncio.Event = field(default_factory=asyncio.Event)
+
+    @property
+    def finished(self) -> bool:
+        return self.status in ("done", "failed", "checkpointed")
+
+    def status_dict(self) -> dict:
+        """Lightweight status view (``GET /v1/jobs/{id}`` while live)."""
+        return {
+            "job_id": self.job_id,
+            "status": self.status,
+            "priority": self.priority,
+            "workload": self.spec.workload,
+            "scale": self.spec.scale,
+            "coalesced": self.coalesced,
+            "from_cache": self.from_cache,
+            "error": self.error,
+        }
+
+
+class JobBroker:
+    """Single-flight, bounded, priority-aware front of the runner.
+
+    All mutable state is touched only from coroutines on one event
+    loop, so there are no locks — every await point leaves the
+    structures consistent.  The actual simulation runs in a bounded
+    :class:`ThreadPoolExecutor` via ``execute`` (default:
+    :func:`~repro.runner.engine.execute_spec`), which tests replace
+    with counting fakes to prove the coalescing invariant.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+        execute: Optional[Callable[..., dict]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.config = config or ServiceConfig()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._execute = execute or execute_spec
+        self._clock = clock
+        self._jobs: "dict[str, Job]" = {}
+        self._lanes: "dict[str, deque[Job]]" = {
+            lane: deque() for lane in LANES
+        }
+        self._cond: Optional[asyncio.Condition] = None
+        self._workers: "list[asyncio.Task]" = []
+        self._prune_task: Optional[asyncio.Task] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        self._terminal: "deque[str]" = deque()
+        self._draining = False
+        self._inflight = 0
+        cache_dir = self.config.runner.cache_dir
+        #: Response store: full canonical job responses keyed by
+        #: spec_key, in a sibling namespace of the SimResult cache so
+        #: `repro cache --verify` never sees (and quarantines) them.
+        self._responses = (
+            ResultCache(Path(cache_dir) / "service")
+            if cache_dir is not None
+            else None
+        )
+        self._checkpoint_path = (
+            Path(cache_dir) / QUEUE_CHECKPOINT_FILENAME
+            if cache_dir is not None
+            else None
+        )
+        self._init_metrics()
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def _init_metrics(self) -> None:
+        reg = self.registry
+        self._m_depth = reg.gauge(
+            "service_queue_depth", "Queued jobs per priority lane"
+        )
+        self._m_inflight = reg.gauge(
+            "service_jobs_inflight", "Jobs currently executing"
+        )
+        self._m_submissions = reg.counter(
+            "service_submissions_total",
+            "Submissions by admission outcome",
+        )
+        self._m_coalesced = reg.counter(
+            "service_coalesced_hits_total",
+            "Submissions coalesced onto an already-live identical job",
+        )
+        self._m_rejected = reg.counter(
+            "service_rejected_total", "Rejected submissions by reason"
+        )
+        self._m_jobs = reg.counter(
+            "service_jobs_total", "Jobs reaching a terminal state"
+        )
+        self._m_execute = reg.histogram(
+            "service_job_execute_seconds",
+            "Wall seconds one job spent executing",
+            buckets=EXECUTE_SECONDS_BUCKETS,
+        )
+        self._m_prune_runs = reg.counter(
+            "service_cache_prune_runs_total",
+            "Completed cache-prune sweeps",
+        )
+        self._m_pruned_bytes = reg.counter(
+            "service_cache_pruned_bytes_total",
+            "Bytes reclaimed by cache pruning",
+        )
+        for lane in LANES:
+            self._m_depth.set(0, lane=lane)
+
+    def _sync_depth(self) -> None:
+        for lane in LANES:
+            self._m_depth.set(len(self._lanes[lane]), lane=lane)
+        self._m_inflight.set(self._inflight)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def stats(self) -> dict:
+        """Point-in-time broker summary (``GET /healthz`` payload)."""
+        return {
+            "draining": self._draining,
+            "queued": {
+                lane: len(self._lanes[lane]) for lane in LANES
+            },
+            "inflight": self._inflight,
+            "jobs_tracked": len(self._jobs),
+            "workers": len(self._workers),
+        }
+
+    async def start(self) -> None:
+        """Restore any drain checkpoint and start the consumer tasks."""
+        self._cond = asyncio.Condition()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-service",
+        )
+        restored = self._restore_checkpoint()
+        if restored:
+            _log.info(
+                "restored %d checkpointed job(s)",
+                restored,
+                extra={"event": "queue_restored", "jobs": restored},
+            )
+        self._workers = [
+            asyncio.ensure_future(self._worker())
+            for _ in range(self.config.workers)
+        ]
+        if (
+            self.config.prune_interval_s > 0
+            and self.config.runner.cache_dir is not None
+        ):
+            self._prune_task = asyncio.ensure_future(self._prune_loop())
+
+    async def drain(self) -> int:
+        """Graceful shutdown: reject new work, finish in-flight jobs.
+
+        Queued-but-unstarted jobs are checkpointed (and their waiters
+        released with status ``checkpointed``).  Returns the number of
+        checkpointed jobs; 0 means the next boot finds no journal.
+        """
+        if self._draining:
+            return 0
+        self._draining = True
+        assert self._cond is not None
+        checkpointed: "list[Job]" = []
+        async with self._cond:
+            for lane in LANES:
+                queue = self._lanes[lane]
+                while queue:
+                    job = queue.popleft()
+                    job.status = "checkpointed"
+                    job.done_event.set()
+                    self._m_jobs.inc(status="checkpointed")
+                    checkpointed.append(job)
+            self._sync_depth()
+            self._cond.notify_all()
+        self._write_checkpoint(checkpointed)
+        _log.info(
+            "drain: %d in-flight, %d checkpointed",
+            self._inflight,
+            len(checkpointed),
+            extra={
+                "event": "drain_start",
+                "inflight": self._inflight,
+                "checkpointed": len(checkpointed),
+            },
+        )
+        if self._workers:
+            done, pending = await asyncio.wait(
+                self._workers, timeout=self.config.drain_timeout_s
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        if self._prune_task is not None:
+            self._prune_task.cancel()
+            await asyncio.gather(self._prune_task, return_exceptions=True)
+            self._prune_task = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+        _log.info(
+            "drain complete",
+            extra={"event": "drain_finish",
+                   "checkpointed": len(checkpointed)},
+        )
+        return len(checkpointed)
+
+    # ------------------------------------------------------------------
+    # Drain checkpoint (PR 3 journal format)
+    # ------------------------------------------------------------------
+
+    def _write_checkpoint(self, jobs: "list[Job]") -> None:
+        if self._checkpoint_path is None:
+            return
+        if not jobs:
+            # A clean drain leaves no journal behind.
+            try:
+                self._checkpoint_path.unlink()
+            except OSError:
+                pass
+            return
+        self._checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self._checkpoint_path, "w", encoding="utf-8") as handle:
+            for job in jobs:
+                handle.write(
+                    json.dumps(
+                        {
+                            "spec": job.job_id,
+                            "job_id": job.spec.job_id,
+                            "priority": job.priority,
+                            "request": job.spec.to_dict(),
+                        }
+                    )
+                    + "\n"
+                )
+
+    def _restore_checkpoint(self) -> int:
+        """Re-enqueue jobs a previous drain checkpointed; clear the file."""
+        if self._checkpoint_path is None:
+            return 0
+        try:
+            lines = self._checkpoint_path.read_text(
+                encoding="utf-8"
+            ).splitlines()
+        except OSError:
+            return 0
+        restored = 0
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                spec = ExperimentSpec.from_dict(entry["request"])
+                priority = entry.get("priority", "batch")
+            except (json.JSONDecodeError, KeyError, TypeError,
+                    ValueError, ReproError):
+                continue  # torn or stale line: drop, don't crash boot
+            if priority not in LANES:
+                priority = "batch"
+            job = Job(
+                job_id=spec_key(spec, self.config.runner.cache_salt),
+                spec=spec,
+                priority=priority,
+            )
+            self._jobs[job.job_id] = job
+            self._lanes[priority].append(job)
+            self._m_jobs.inc(status="restored")
+            restored += 1
+        self._sync_depth()
+        try:
+            self._checkpoint_path.unlink()
+        except OSError:
+            pass
+        return restored
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def _bucket_for(self, client: str) -> TokenBucket:
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = TokenBucket(
+                self.config.rate_limit_rps,
+                self.config.rate_limit_burst,
+                clock=self._clock,
+            )
+            self._buckets[client] = bucket
+            # Bound per-client state: forget the coldest buckets.
+            while len(self._buckets) > 1024:
+                self._buckets.popitem(last=False)
+        else:
+            self._buckets.move_to_end(client)
+        return bucket
+
+    def _active_count(self) -> int:
+        return (
+            sum(len(self._lanes[lane]) for lane in LANES) + self._inflight
+        )
+
+    async def submit(
+        self,
+        spec: ExperimentSpec,
+        priority: str = "interactive",
+        client: str = "",
+    ) -> "tuple[Job, str]":
+        """Admit one spec; returns ``(job, outcome)``.
+
+        ``outcome`` is one of ``"accepted"`` (queued), ``"coalesced"``
+        (an identical job is already queued or running),
+        ``"duplicate"`` (an identical job already finished in memory),
+        or ``"cache_hit"`` (answered from the on-disk response store
+        without queuing).  Raises an :class:`AdmissionError` subclass
+        when the submission is rejected.
+        """
+        if priority not in LANES:
+            raise ServiceError(
+                f"unknown priority {priority!r}; choose from {LANES}"
+            )
+        if self._draining:
+            self._m_rejected.inc(reason=DrainingError.reason)
+            raise DrainingError(
+                "service is draining; submit to another replica",
+                retry_after_s=self.config.retry_after_s,
+            )
+        if self.config.rate_limit_rps > 0:
+            bucket = self._bucket_for(client)
+            if not bucket.try_acquire():
+                self._m_rejected.inc(reason=RateLimitedError.reason)
+                raise RateLimitedError(
+                    f"client {client or '<anonymous>'} exceeded "
+                    f"{self.config.rate_limit_rps:g} req/s "
+                    f"(burst {self.config.rate_limit_burst})",
+                    retry_after_s=max(
+                        bucket.retry_after_s(), 0.05
+                    ),
+                )
+        key = spec_key(spec, self.config.runner.cache_salt)
+        existing = self._jobs.get(key)
+        if existing is not None and not existing.finished:
+            # Single-flight: ride the live job, whatever its phase.
+            existing.coalesced += 1
+            self._m_coalesced.inc()
+            self._m_submissions.inc(outcome="coalesced")
+            return existing, "coalesced"
+        if existing is not None and existing.status == "done":
+            self._m_submissions.inc(outcome="duplicate")
+            return existing, "duplicate"
+        # Cache short-circuit: a stored response means this exact spec
+        # (same content, same code version) already ran to completion —
+        # answer it at admission time, before the queue.
+        if self._responses is not None:
+            stored = self._responses.get(key)
+            if isinstance(stored, dict) and stored.get("status") == "done":
+                job = Job(
+                    job_id=key,
+                    spec=spec,
+                    priority=priority,
+                    status="done",
+                    from_cache=True,
+                    result_bytes=canonical_json(stored),
+                )
+                job.done_event.set()
+                self._track_terminal(job)
+                self._m_submissions.inc(outcome="cache_hit")
+                return job, "cache_hit"
+        if self._active_count() >= self.config.queue_capacity:
+            self._m_rejected.inc(reason=QueueFullError.reason)
+            raise QueueFullError(
+                f"admission queue at capacity "
+                f"({self.config.queue_capacity} jobs)",
+                retry_after_s=self.config.retry_after_s,
+            )
+        job = Job(job_id=key, spec=spec, priority=priority)
+        self._jobs[key] = job
+        assert self._cond is not None, "JobBroker.start() was not awaited"
+        async with self._cond:
+            self._lanes[priority].append(job)
+            self._sync_depth()
+            self._cond.notify()
+        self._m_submissions.inc(outcome="accepted")
+        _log.info(
+            "job accepted: %s (%s)",
+            job.spec.job_id,
+            priority,
+            extra={
+                "event": "job_accepted",
+                "spec_key": key,
+                "job_id": job.spec.job_id,
+                "priority": priority,
+            },
+        )
+        return job, "accepted"
+
+    def get(self, job_id: str) -> Optional[Job]:
+        """In-memory job lookup (live and recently terminal jobs)."""
+        return self._jobs.get(job_id)
+
+    def lookup_response(self, job_id: str) -> Optional[bytes]:
+        """Canonical response bytes for a job, wherever they live.
+
+        Falls back to the on-disk response store for jobs evicted from
+        memory (or completed by an earlier server process), preserving
+        bit-identity: the store holds the same payload the canonical
+        serializer produced.
+        """
+        job = self._jobs.get(job_id)
+        if job is not None and job.result_bytes is not None:
+            return job.result_bytes
+        if self._responses is not None:
+            stored = self._responses.get(job_id)
+            if isinstance(stored, dict):
+                return canonical_json(stored)
+        return None
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    async def _next_job(self) -> Optional[Job]:
+        assert self._cond is not None
+        async with self._cond:
+            while True:
+                for lane in LANES:
+                    if self._lanes[lane]:
+                        job = self._lanes[lane].popleft()
+                        self._inflight += 1
+                        self._sync_depth()
+                        return job
+                if self._draining:
+                    return None
+                await self._cond.wait()
+
+    async def _worker(self) -> None:
+        while True:
+            job = await self._next_job()
+            if job is None:
+                return
+            try:
+                await self._execute_job(job)
+            finally:
+                self._inflight -= 1
+                self._sync_depth()
+
+    async def _execute_job(self, job: Job) -> None:
+        job.status = "running"
+        loop = asyncio.get_running_loop()
+        started = self._clock()
+        try:
+            payload = await loop.run_in_executor(
+                self._pool, self._execute, job.spec, self.config.runner
+            )
+        except ReproError as error:
+            self._fail(job, str(error))
+            return
+        except Exception as error:  # worker bug ≠ broker crash
+            self._fail(job, f"{type(error).__name__}: {error}")
+            return
+        job.execute_seconds = self._clock() - started
+        self._m_execute.observe(job.execute_seconds)
+        body = {
+            "job_id": job.job_id,
+            "spec_key": job.job_id,
+            "status": "done",
+            "workload": job.spec.workload,
+            "scale": job.spec.scale,
+            "trace_hash": payload["trace_hash"],
+            "results": {
+                label: entry["payload"]
+                for label, entry in payload["modes"].items()
+            },
+            "cached_modes": {
+                label: entry["cached"]
+                for label, entry in payload["modes"].items()
+            },
+        }
+        job.result_bytes = canonical_json(body)
+        job.status = "done"
+        job.done_event.set()
+        if self._responses is not None:
+            self._responses.put(job.job_id, body)
+        self._m_jobs.inc(status="done")
+        self._track_terminal(job)
+        _log.info(
+            "job done: %s (%.2fs, coalesced %d)",
+            job.spec.job_id,
+            job.execute_seconds,
+            job.coalesced,
+            extra={
+                "event": "job_done",
+                "spec_key": job.job_id,
+                "job_id": job.spec.job_id,
+                "execute_seconds": job.execute_seconds,
+                "coalesced": job.coalesced,
+            },
+        )
+
+    def _fail(self, job: Job, message: str) -> None:
+        job.status = "failed"
+        job.error = message
+        job.done_event.set()
+        self._m_jobs.inc(status="failed")
+        self._track_terminal(job)
+        _log.error(
+            "job failed: %s — %s",
+            job.spec.job_id,
+            message,
+            extra={
+                "event": "job_failed",
+                "spec_key": job.job_id,
+                "job_id": job.spec.job_id,
+                "error": message,
+            },
+        )
+
+    def _track_terminal(self, job: Job) -> None:
+        """Retain terminal jobs in memory, bounded by config.
+
+        Evicted done jobs remain answerable through the response
+        store; evicted failed jobs simply age out (a resubmission
+        re-executes them, which is the desired retry semantics).
+        """
+        self._jobs[job.job_id] = job
+        self._terminal.append(job.job_id)
+        while len(self._terminal) > self.config.completed_jobs_kept:
+            old_id = self._terminal.popleft()
+            old = self._jobs.get(old_id)
+            if old is not None and old.finished and old is not job:
+                del self._jobs[old_id]
+
+    # ------------------------------------------------------------------
+    # Cache pruning timer
+    # ------------------------------------------------------------------
+
+    def prune_caches(self) -> dict:
+        """One pruning sweep over the result cache + response store."""
+        budget = self.config.max_cache_bytes
+        freed = 0
+        removed = 0
+        caches: "list[ResultCache]" = []
+        if self.config.runner.cache_dir is not None:
+            caches.append(ResultCache(self.config.runner.cache_dir))
+        if self._responses is not None:
+            caches.append(self._responses)
+        for cache in caches:
+            outcome = cache.prune(budget)
+            freed += outcome["freed_bytes"]
+            removed += outcome["removed"]
+        self._m_prune_runs.inc()
+        self._m_pruned_bytes.inc(freed)
+        if removed:
+            _log.info(
+                "cache prune: removed %d object(s), freed %d byte(s)",
+                removed,
+                freed,
+                extra={
+                    "event": "cache_pruned",
+                    "removed": removed,
+                    "freed_bytes": freed,
+                },
+            )
+        return {"removed": removed, "freed_bytes": freed}
+
+    async def _prune_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.config.prune_interval_s)
+            try:
+                await loop.run_in_executor(None, self.prune_caches)
+            except OSError:  # unwritable cache: try again next tick
+                continue
+
+
+__all__ = [
+    "AdmissionError",
+    "DrainingError",
+    "EXECUTE_SECONDS_BUCKETS",
+    "Job",
+    "JobBroker",
+    "LANES",
+    "QueueFullError",
+    "RateLimitedError",
+    "TokenBucket",
+    "canonical_json",
+]

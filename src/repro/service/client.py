@@ -1,0 +1,332 @@
+"""Typed synchronous client for the simulation service.
+
+Zero-dependency (stdlib :mod:`http.client`) so any consumer that can
+import :mod:`repro` can talk to ``repro serve``::
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8477", client_id="ci")
+    ticket = client.submit(workload="BFS", scale="tiny")
+    status = client.wait(ticket.job_id, timeout_s=120)
+    print(status.results["GraphPIM"]["cycles"])
+
+Admission rejections surface as typed exceptions carrying the server's
+``Retry-After`` hint (:class:`ClientBackpressureError`), so callers can
+implement polite retry loops; :meth:`ServiceClient.submit_and_wait`
+implements one.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.common.errors import ServiceError
+from repro.runner.spec import ExperimentSpec
+
+
+class ClientBackpressureError(ServiceError):
+    """The server rejected the submission (429/503) with a retry hint."""
+
+    def __init__(self, message: str, reason: str, retry_after_s: float):
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+class JobFailedError(ServiceError):
+    """The submitted job reached the ``failed`` terminal state."""
+
+
+@dataclass(frozen=True)
+class SubmitTicket:
+    """What ``POST /v1/jobs`` answered."""
+
+    job_id: str
+    status: str
+    outcome: str  # accepted | coalesced | duplicate | cache_hit
+
+    @property
+    def done(self) -> bool:
+        return self.status == "done"
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """One ``GET /v1/jobs/{id}`` response, raw bytes retained.
+
+    ``raw`` is the exact body the server sent — for a done job these
+    bytes are canonical and bit-identical across every client of the
+    same spec, which tests assert directly.
+    """
+
+    job_id: str
+    status: str
+    raw: bytes
+    body: dict = field(repr=False, default_factory=dict)
+
+    @property
+    def done(self) -> bool:
+        return self.status == "done"
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "failed"
+
+    @property
+    def results(self) -> "dict[str, dict]":
+        """Mode label -> versioned SimResult payload (done jobs)."""
+        return self.body.get("results", {})
+
+    @property
+    def error(self) -> str:
+        return self.body.get("error", "")
+
+
+class ServiceClient:
+    """Small blocking client; one HTTP connection per call."""
+
+    def __init__(
+        self,
+        base_url: str = "http://127.0.0.1:8477",
+        timeout_s: float = 30.0,
+        client_id: str = "",
+    ):
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ServiceError(
+                f"unsupported scheme {parsed.scheme!r} (http only)"
+            )
+        netloc = parsed.netloc or parsed.path
+        if not netloc:
+            raise ServiceError(f"cannot parse base url {base_url!r}")
+        self._host = netloc.split(":")[0]
+        self._port = (
+            int(netloc.split(":")[1]) if ":" in netloc else 80
+        )
+        self.timeout_s = timeout_s
+        self.client_id = client_id
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+    ) -> "tuple[int, dict[str, str], bytes]":
+        payload = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        headers = {"Connection": "close"}
+        if payload is not None:
+            headers["Content-Type"] = "application/json"
+        if self.client_id:
+            headers["X-Client-Id"] = self.client_id
+        conn = http.client.HTTPConnection(
+            self._host, self._port, timeout=self.timeout_s
+        )
+        try:
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            return (
+                response.status,
+                {k.lower(): v for k, v in response.getheaders()},
+                data,
+            )
+        except (OSError, http.client.HTTPException) as error:
+            raise ServiceError(
+                f"{method} {path} failed against "
+                f"{self._host}:{self._port}: {error}"
+            ) from error
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _json(data: bytes) -> dict:
+        try:
+            parsed = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServiceError(
+                f"server sent unparseable JSON: {error}"
+            ) from error
+        if not isinstance(parsed, dict):
+            raise ServiceError("server sent a non-object JSON body")
+        return parsed
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        workload: Optional[str] = None,
+        scale: Optional[str] = None,
+        modes: Optional["list[str]"] = None,
+        threads: Optional[int] = None,
+        params: Optional[dict] = None,
+        faults: Optional[str] = None,
+        spec: Optional[ExperimentSpec] = None,
+        priority: str = "interactive",
+    ) -> SubmitTicket:
+        """Submit one experiment; returns the admission ticket.
+
+        Either pass a full ``spec`` (an
+        :class:`~repro.runner.spec.ExperimentSpec`) or the shorthand
+        fields.  Raises :class:`ClientBackpressureError` on 429/503
+        and :class:`~repro.common.errors.ServiceError` on other
+        protocol failures.
+        """
+        body: "dict[str, Any]" = {"priority": priority}
+        if self.client_id:
+            body["client"] = self.client_id
+        if spec is not None:
+            body["spec"] = spec.to_dict()
+        else:
+            if workload is None:
+                raise ServiceError("submit needs a workload or a spec")
+            body["workload"] = workload
+            if scale is not None:
+                body["scale"] = scale
+            if modes is not None:
+                body["modes"] = list(modes)
+            if threads is not None:
+                body["threads"] = threads
+            if params:
+                body["params"] = params
+            if faults:
+                body["faults"] = faults
+        code, headers, data = self._request("POST", "/v1/jobs", body)
+        parsed = self._json(data)
+        if code in (429, 503):
+            raise ClientBackpressureError(
+                parsed.get("error", f"rejected with HTTP {code}"),
+                reason=parsed.get("reason", "rejected"),
+                retry_after_s=float(
+                    parsed.get(
+                        "retry_after_s",
+                        headers.get("retry-after", 1.0),
+                    )
+                ),
+            )
+        if code not in (200, 202):
+            detail = parsed.get("error") or repr(data[:200])
+            raise ServiceError(
+                f"submit rejected with HTTP {code}: {detail}"
+            )
+        return SubmitTicket(
+            job_id=parsed["job_id"],
+            status=parsed["status"],
+            outcome=parsed.get("outcome", ""),
+        )
+
+    def status(self, job_id: str) -> JobStatus:
+        """Current state of one job (raw response bytes retained)."""
+        code, _headers, data = self._request(
+            "GET", f"/v1/jobs/{urllib.parse.quote(job_id)}"
+        )
+        if code == 404:
+            raise ServiceError(f"unknown job {job_id!r}")
+        if code != 200:
+            raise ServiceError(
+                f"status failed with HTTP {code}: {data[:200]!r}"
+            )
+        parsed = self._json(data)
+        return JobStatus(
+            job_id=parsed.get("job_id", job_id),
+            status=parsed.get("status", "unknown"),
+            raw=data,
+            body=parsed,
+        )
+
+    def wait(
+        self,
+        job_id: str,
+        timeout_s: float = 300.0,
+        poll_s: float = 0.05,
+    ) -> JobStatus:
+        """Poll until the job is terminal; raise on failure/timeout."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.status(job_id)
+            if status.done:
+                return status
+            if status.failed:
+                raise JobFailedError(
+                    f"job {job_id} failed: {status.error}"
+                )
+            if status.status == "checkpointed":
+                raise ServiceError(
+                    f"job {job_id} was checkpointed by a drain; "
+                    f"resubmit after the service restarts"
+                )
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} not finished after {timeout_s:g}s "
+                    f"(last status: {status.status})"
+                )
+            time.sleep(poll_s)
+
+    def submit_and_wait(
+        self,
+        timeout_s: float = 300.0,
+        max_retries: int = 8,
+        **submit_kwargs,
+    ) -> JobStatus:
+        """Submit with polite backpressure retries, then wait."""
+        deadline = time.monotonic() + timeout_s
+        attempts = 0
+        while True:
+            try:
+                ticket = self.submit(**submit_kwargs)
+                break
+            except ClientBackpressureError as error:
+                attempts += 1
+                if (
+                    attempts > max_retries
+                    or time.monotonic() >= deadline
+                ):
+                    raise
+                time.sleep(min(error.retry_after_s, 5.0))
+        return self.wait(
+            ticket.job_id,
+            timeout_s=max(deadline - time.monotonic(), 0.1),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection endpoints
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        code, _headers, data = self._request("GET", "/healthz")
+        if code != 200:
+            raise ServiceError(f"healthz answered HTTP {code}")
+        return self._json(data)
+
+    def ready(self) -> bool:
+        """True when the server accepts new work (not draining)."""
+        code, _headers, _data = self._request("GET", "/readyz")
+        return code == 200
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus exposition from ``GET /metrics``."""
+        code, _headers, data = self._request("GET", "/metrics")
+        if code != 200:
+            raise ServiceError(f"metrics answered HTTP {code}")
+        return data.decode("utf-8")
+
+
+__all__ = [
+    "ClientBackpressureError",
+    "JobFailedError",
+    "JobStatus",
+    "ServiceClient",
+    "SubmitTicket",
+]

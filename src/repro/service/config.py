@@ -1,0 +1,104 @@
+"""Service configuration.
+
+:class:`ServiceConfig` carries everything ``repro serve`` needs:
+network binding, broker sizing (worker slots, queue capacity), the
+admission-control policy (per-client token-bucket rate limiting,
+``Retry-After`` hints), cache-pruning cadence, and the
+:class:`~repro.runner.spec.RunnerConfig` the broker executes specs
+under.
+
+None of these settings ever enter
+:class:`~repro.sim.config.SystemConfig` — exactly like the obs layer,
+service deployment knobs are outside all three cache-key factors
+(trace, config, code version), so moving a cache between a CLI run and
+a server, or resizing the server, can never churn cache fingerprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.runner.spec import RunnerConfig
+
+#: Default TCP port (unassigned range; "GPIM" on a phone keypad is taken).
+DEFAULT_PORT = 8477
+
+#: Filename of the drain checkpoint under the cache root (PR 3 journal
+#: format: one JSON object per line, torn-line tolerant).
+QUEUE_CHECKPOINT_FILENAME = "service_queue.jsonl"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """How one ``repro serve`` process behaves.
+
+    Parameters
+    ----------
+    host / port:
+        TCP binding; ``port=0`` binds an ephemeral port (the server
+        reports the real one — CI smoke tests use this).
+    workers:
+        Concurrent simulation slots: the broker runs this many asyncio
+        consumers, each executing specs in a thread off the event loop.
+    queue_capacity:
+        Bound on *admitted but not yet finished* jobs across both
+        priority lanes.  Submissions beyond it are rejected with HTTP
+        429 and a ``Retry-After`` hint — queue memory is bounded no
+        matter how fast clients submit.
+    rate_limit_rps / rate_limit_burst:
+        Per-client token bucket: sustained requests/second and burst
+        size.  ``rate_limit_rps=0`` disables rate limiting.  Clients
+        identify themselves with the ``X-Client-Id`` header (or the
+        ``client`` field of the submit body); anonymous callers share
+        one bucket.
+    retry_after_s:
+        ``Retry-After`` hint attached to backpressure rejections.
+    drain_timeout_s:
+        Hard cap on waiting for in-flight jobs during graceful drain;
+        jobs still running after it are abandoned (their specs are NOT
+        checkpointed — they were in flight, not queued).
+    prune_interval_s / max_cache_mb:
+        When ``prune_interval_s > 0`` the service prunes the result
+        cache (and its own response store) to ``max_cache_mb`` on this
+        cadence via :meth:`~repro.runner.cache.ResultCache.prune`, so a
+        long-lived server cannot fill the disk.
+    completed_jobs_kept:
+        Terminal jobs retained in memory for ``GET /v1/jobs/{id}``;
+        older ones are answered from the on-disk response store.
+    runner:
+        Execution settings for each spec (cache dir, strictness,
+        salt).  The broker runs one spec at a time per worker slot, so
+        the runner's own pool/parallel settings are not used here.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    workers: int = 2
+    queue_capacity: int = 64
+    rate_limit_rps: float = 0.0
+    rate_limit_burst: int = 16
+    retry_after_s: float = 1.0
+    drain_timeout_s: float = 30.0
+    prune_interval_s: float = 0.0
+    max_cache_mb: float = 512.0
+    completed_jobs_kept: int = 512
+    runner: RunnerConfig = field(default_factory=RunnerConfig)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigError("service workers must be >= 1")
+        if self.queue_capacity < 1:
+            raise ConfigError("service queue_capacity must be >= 1")
+        if self.rate_limit_rps < 0:
+            raise ConfigError("service rate_limit_rps must be >= 0")
+        if self.rate_limit_burst < 1:
+            raise ConfigError("service rate_limit_burst must be >= 1")
+        if self.max_cache_mb < 0:
+            raise ConfigError("service max_cache_mb must be >= 0")
+        if self.completed_jobs_kept < 1:
+            raise ConfigError("service completed_jobs_kept must be >= 1")
+
+    @property
+    def max_cache_bytes(self) -> int:
+        return int(self.max_cache_mb * 1024 * 1024)

@@ -1,0 +1,554 @@
+"""Zero-dependency asyncio HTTP/JSON frontend for the job broker.
+
+``repro serve`` binds :class:`ServiceServer` — a deliberately small
+HTTP/1.1 implementation on ``asyncio.start_server`` (one request per
+connection, ``Connection: close``) exposing:
+
+- ``POST /v1/jobs`` — submit an experiment (full
+  :meth:`~repro.runner.spec.ExperimentSpec.to_dict` form or the
+  shorthand ``{"workload": "BFS", "scale": "tiny", "modes":
+  ["baseline", "graphpim"]}``); 202 + job id, 200 when answered
+  immediately, 429/503 + ``Retry-After`` when admission rejects;
+- ``GET /v1/jobs/{id}`` — job status, or the canonical result body
+  once done (bit-identical for every caller of the same spec);
+- ``GET /healthz`` (liveness + broker stats), ``GET /readyz``
+  (503 while draining — load balancers stop routing here first);
+- ``GET /metrics`` — the service :class:`MetricsRegistry` rendered in
+  Prometheus text format.
+
+Every request gets an ``X-Request-Id`` echoed in the response and
+bound via :func:`repro.obs.logs.request_id_context`, so all log lines
+a request produced — HTTP layer, broker, runner — correlate on one
+``request_id`` field.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+import uuid
+from typing import Awaitable, Callable, Optional
+
+from repro.common.errors import ConfigError, ReproError, ServiceError
+from repro.obs.logs import get_logger, request_id_context
+from repro.obs.metrics import MetricsRegistry, render_prometheus
+from repro.runner.spec import ExperimentSpec
+from repro.service.broker import AdmissionError, DrainingError, JobBroker
+from repro.service.config import ServiceConfig
+from repro.sim.config import SystemConfig
+
+_log = get_logger("service.http")
+
+#: Largest accepted request body (a full ExperimentSpec is ~2 KiB).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Request-latency histogram bounds in seconds (admission and polls
+#: are sub-millisecond; only misconfigured handlers reach the tail).
+REQUEST_SECONDS_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0,
+)
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+_MODE_CTORS = {
+    "baseline": SystemConfig.baseline,
+    "upei": SystemConfig.upei,
+    "graphpim": SystemConfig.graphpim,
+}
+
+
+def spec_from_request(body: dict) -> ExperimentSpec:
+    """Build the spec a ``POST /v1/jobs`` body describes.
+
+    Two forms are accepted: the full wire format under ``"spec"``
+    (exactly :meth:`ExperimentSpec.to_dict`), or the shorthand with
+    ``workload`` / ``scale`` / ``modes`` (preset names) / ``threads``
+    / ``params`` / ``faults`` (a ``ber=...,seed=...`` spec string).
+    Raises :class:`~repro.common.errors.ServiceError` on malformed
+    input so the HTTP layer can answer 400 instead of 500.
+    """
+    if not isinstance(body, dict):
+        raise ServiceError("request body must be a JSON object")
+    if "spec" in body:
+        try:
+            return ExperimentSpec.from_dict(body["spec"])
+        except (ReproError, KeyError, TypeError, ValueError) as error:
+            raise ServiceError(f"malformed spec: {error}") from error
+    from repro.core.presets import resolve_scale, workload_params
+    from repro.workloads.registry import get_workload
+
+    workload = body.get("workload")
+    if not workload:
+        raise ServiceError(
+            'submit body needs "workload" (or a full "spec" object)'
+        )
+    try:
+        get_workload(workload)  # fail fast on unknown codes
+        scale = resolve_scale(body.get("scale"))
+        faults = None
+        if body.get("faults"):
+            from repro.faults import FaultPlan
+
+            faults = FaultPlan.from_spec(body["faults"])
+        mode_names = body.get("modes") or ["baseline", "graphpim"]
+        modes = []
+        for name in mode_names:
+            ctor = _MODE_CTORS.get(str(name).lower())
+            if ctor is None:
+                raise ServiceError(
+                    f"unknown mode {name!r}; choose from "
+                    f"{sorted(_MODE_CTORS)}"
+                )
+            modes.append(ctor().with_faults(faults))
+        params = dict(workload_params(workload))
+        params.update(body.get("params") or {})
+        return ExperimentSpec.for_workload(
+            workload,
+            scale,
+            modes=modes,
+            num_threads=int(body.get("threads", 16)),
+            params=params,
+        )
+    except ServiceError:
+        raise
+    except (ReproError, TypeError, ValueError) as error:
+        raise ServiceError(f"invalid submission: {error}") from error
+
+
+class ServiceServer:
+    """The asyncio HTTP listener in front of one :class:`JobBroker`."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        broker: Optional[JobBroker] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.config = config or ServiceConfig()
+        self.registry = (
+            registry
+            if registry is not None
+            else (broker.registry if broker is not None
+                  else MetricsRegistry())
+        )
+        self.broker = broker or JobBroker(
+            self.config, registry=self.registry
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._m_requests = self.registry.counter(
+            "service_requests_total", "HTTP requests by route and code"
+        )
+        self._m_latency = self.registry.histogram(
+            "service_request_seconds",
+            "HTTP request handling latency",
+            buckets=REQUEST_SECONDS_BUCKETS,
+        )
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (meaningful after :meth:`start`)."""
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        await self.broker.start()
+        self._server = await asyncio.start_server(
+            self._handle, host=self.config.host, port=self.config.port
+        )
+
+    async def stop(self) -> int:
+        """Stop accepting connections, then drain the broker."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        return await self.broker.drain()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        request_id = uuid.uuid4().hex[:12]
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        route = "unparsed"
+        code = 0  # 0 = no response written (empty connection)
+        try:
+            with request_id_context(request_id):
+                method, path, headers = await self._read_head(reader)
+                if method is None:
+                    return  # client closed without sending a request
+                body = await self._read_body(reader, headers)
+                route, code, payload, extra = await self._route(
+                    method, path, body
+                )
+                self._write_response(
+                    writer, code, payload, request_id, extra
+                )
+                _log.info(
+                    "%s %s -> %d",
+                    method,
+                    path,
+                    code,
+                    extra={
+                        "event": "request",
+                        "method": method,
+                        "path": path,
+                        "route": route,
+                        "code": code,
+                        "duration_s": loop.time() - started,
+                    },
+                )
+        except _BodyTooLarge:
+            code = 413
+            self._write_response(
+                writer, 413, {"error": "request body too large"},
+                request_id, {},
+            )
+        except ServiceError as error:
+            code = 400
+            self._write_response(
+                writer, 400, {"error": str(error)}, request_id, {}
+            )
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError):
+            code = 0  # torn connection: nothing to answer
+        except Exception as error:  # never kill the accept loop
+            code = 500
+            _log.exception("handler crashed: %s", error)
+            try:
+                self._write_response(
+                    writer, 500,
+                    {"error": f"{type(error).__name__}: {error}"},
+                    request_id, {},
+                )
+            except ConnectionError:
+                pass
+        finally:
+            if code:
+                self._m_requests.inc(route=route, code=str(code))
+                self._m_latency.observe(
+                    loop.time() - started, route=route
+                )
+            try:
+                await writer.drain()
+            except ConnectionError:
+                pass
+            writer.close()
+
+    async def _read_head(self, reader: asyncio.StreamReader):
+        request_line = await reader.readline()
+        if not request_line.strip():
+            return None, None, None
+        try:
+            method, path, _version = (
+                request_line.decode("latin-1").strip().split(" ", 2)
+            )
+        except ValueError:
+            raise ServiceError("malformed request line") from None
+        headers: "dict[str, str]" = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return method.upper(), path, headers
+
+    async def _read_body(self, reader, headers: dict) -> bytes:
+        length = int(headers.get("content-length", 0) or 0)
+        if length <= 0:
+            return b""
+        if length > MAX_BODY_BYTES:
+            raise _BodyTooLarge()
+        return await reader.readexactly(length)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    async def _route(self, method: str, path: str, body: bytes):
+        """Dispatch; returns ``(route, code, payload, extra_headers)``.
+
+        ``payload`` is a dict (JSON-rendered), pre-serialized bytes, or
+        a ``(bytes, content_type)`` pair for non-JSON responses.
+        """
+        path = path.split("?", 1)[0]
+        if path == "/healthz" and method == "GET":
+            return (
+                "/healthz", 200,
+                {"status": "ok", **self.broker.stats()}, {},
+            )
+        if path == "/readyz" and method == "GET":
+            if self.broker.draining:
+                return (
+                    "/readyz", 503, {"status": "draining"},
+                    {"Retry-After":
+                     f"{self.config.retry_after_s:g}"},
+                )
+            return "/readyz", 200, {"status": "ready"}, {}
+        if path == "/metrics" and method == "GET":
+            text = render_prometheus(self.registry.snapshot())
+            return (
+                "/metrics", 200,
+                (text.encode("utf-8"),
+                 "text/plain; version=0.0.4; charset=utf-8"),
+                {},
+            )
+        if path == "/" and method == "GET":
+            return (
+                "/", 200,
+                {
+                    "service": "repro",
+                    "endpoints": [
+                        "POST /v1/jobs",
+                        "GET /v1/jobs/{id}",
+                        "GET /healthz",
+                        "GET /readyz",
+                        "GET /metrics",
+                    ],
+                },
+                {},
+            )
+        if path == "/v1/jobs":
+            if method != "POST":
+                return "/v1/jobs", 405, {"error": "POST only"}, {}
+            return await self._submit(body)
+        if path.startswith("/v1/jobs/") and method == "GET":
+            return self._job_status(path[len("/v1/jobs/"):])
+        return path, 404, {"error": f"no route for {method} {path}"}, {}
+
+    async def _submit(self, body: bytes):
+        try:
+            parsed = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return (
+                "/v1/jobs", 400,
+                {"error": f"invalid JSON body: {error}"}, {},
+            )
+        try:
+            spec = spec_from_request(parsed)
+            priority = parsed.get("priority", "interactive")
+            client = str(parsed.get("client", ""))
+            job, outcome = await self.broker.submit(
+                spec, priority=priority, client=client
+            )
+        except AdmissionError as error:
+            code = 503 if isinstance(error, DrainingError) else 429
+            return (
+                "/v1/jobs", code,
+                {
+                    "error": str(error),
+                    "reason": error.reason,
+                    "retry_after_s": error.retry_after_s,
+                },
+                {"Retry-After": f"{error.retry_after_s:g}"},
+            )
+        except ServiceError as error:
+            return "/v1/jobs", 400, {"error": str(error)}, {}
+        code = 200 if job.finished else 202
+        return (
+            "/v1/jobs", code,
+            {
+                "job_id": job.job_id,
+                "status": job.status,
+                "outcome": outcome,
+                "poll": f"/v1/jobs/{job.job_id}",
+            },
+            {},
+        )
+
+    def _job_status(self, job_id: str):
+        route = "/v1/jobs/{id}"
+        job = self.broker.get(job_id)
+        if job is not None and job.status == "done":
+            return route, 200, job.result_bytes, {}
+        if job is not None:
+            return route, 200, job.status_dict(), {}
+        stored = self.broker.lookup_response(job_id)
+        if stored is not None:
+            return route, 200, stored, {}
+        return route, 404, {"error": f"unknown job {job_id!r}"}, {}
+
+    # ------------------------------------------------------------------
+    # Response writing
+    # ------------------------------------------------------------------
+
+    def _write_response(
+        self, writer, code: int, payload, request_id: str, extra: dict
+    ) -> None:
+        if isinstance(payload, tuple):
+            body, content_type = payload
+        elif isinstance(payload, (bytes, bytearray)):
+            body, content_type = bytes(payload), "application/json"
+        else:
+            body = json.dumps(payload).encode("utf-8") + b"\n"
+            content_type = "application/json"
+        head = [
+            f"HTTP/1.1 {code} {_STATUS_TEXT.get(code, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            f"X-Request-Id: {request_id}",
+            "Connection: close",
+        ]
+        for name, value in extra.items():
+            head.append(f"{name}: {value}")
+        writer.write(
+            ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+        )
+
+
+class _BodyTooLarge(Exception):
+    """Internal: request body exceeded MAX_BODY_BYTES."""
+
+
+# ----------------------------------------------------------------------
+# Process entry points
+# ----------------------------------------------------------------------
+
+
+async def serve_async(
+    config: ServiceConfig,
+    announce: Callable[[str], None] = print,
+    ready: "Optional[Callable[[ServiceServer], Awaitable[None] | None]]" = None,
+) -> int:
+    """Run the service until SIGTERM/SIGINT, then drain gracefully.
+
+    ``announce`` receives human-readable lifecycle lines (the CLI
+    prints them; the smoke test parses the "listening on" line for the
+    ephemeral port).  ``ready`` is an optional hook invoked once the
+    listener is bound — tests use it to trigger client traffic.
+    Returns the process exit code: 0 after a clean drain.
+    """
+    server = ServiceServer(config)
+    await server.start()
+    announce(
+        f"repro service listening on "
+        f"http://{config.host}:{server.port}"
+    )
+    _log.info(
+        "service started",
+        extra={
+            "event": "service_start",
+            "host": config.host,
+            "port": server.port,
+            "workers": config.workers,
+            "queue_capacity": config.queue_capacity,
+        },
+    )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed: "list[signal.Signals]" = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+            installed.append(sig)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # non-main thread or exotic platform: rely on stop()
+    if ready is not None:
+        outcome = ready(server)
+        if asyncio.iscoroutine(outcome):
+            await outcome
+    try:
+        await stop.wait()
+        announce("repro service draining ...")
+        checkpointed = await server.stop()
+        announce(
+            f"repro service stopped "
+            f"({checkpointed} queued job(s) checkpointed)"
+        )
+    finally:
+        for sig in installed:
+            loop.remove_signal_handler(sig)
+    _log.info(
+        "service stopped",
+        extra={"event": "service_stop"},
+    )
+    return 0
+
+
+class ThreadedServer:
+    """Run a service on a background thread (tests, benchmarks).
+
+    Usage::
+
+        with ThreadedServer(config) as server:
+            client = ServiceClient(f"http://127.0.0.1:{server.port}")
+            ...
+
+    The context exit triggers the same graceful drain SIGTERM would.
+    """
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.port: Optional[int] = None
+        self.server: Optional[ServiceServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+        self._failed: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            server = ServiceServer(self.config)
+            await server.start()
+            self.server = server
+            self.port = server.port
+            self._started.set()
+            await self._stop.wait()
+            await server.stop()
+
+        try:
+            asyncio.run(main())
+        except BaseException as error:  # surface bind errors to caller
+            self._failed = error
+            self._started.set()
+
+    def __enter__(self) -> "ThreadedServer":
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._failed is not None:
+            raise ServiceError(
+                f"service thread failed to start: {self._failed}"
+            ) from self._failed
+        if self.port is None:
+            raise ServiceError("service thread did not come up in 30s")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=60)
+
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "REQUEST_SECONDS_BUCKETS",
+    "ServiceServer",
+    "ThreadedServer",
+    "serve_async",
+    "spec_from_request",
+]

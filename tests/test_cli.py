@@ -95,6 +95,28 @@ class TestCli:
         assert main(["cache", "--cache-dir", cache_dir, "--json"]) == 0
         assert json.loads(capsys.readouterr().out)["entries"] == 0
 
+    def test_cache_prune(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        main(["run", "--scale", "tiny", "--no-parallel",
+              "--cache-dir", cache_dir])
+        capsys.readouterr()
+
+        # A generous budget removes nothing.
+        assert main(["cache", "--cache-dir", cache_dir,
+                     "--prune", "--max-mb", "64"]) == 0
+        assert "pruned 0" in capsys.readouterr().out
+
+        # A zero budget empties the cache and reports what it freed.
+        assert main(["cache", "--cache-dir", cache_dir,
+                     "--prune", "--max-mb", "0", "--json"]) == 0
+        outcome = json.loads(capsys.readouterr().out)
+        assert outcome["removed"] == 24
+        assert outcome["kept"] == 0
+        assert outcome["freed_bytes"] > 0
+
+        assert main(["cache", "--cache-dir", cache_dir, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
+
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])

@@ -358,6 +358,86 @@ class TestRunLogs:
         )
 
 
+class TestRequestIdCorrelation:
+    """Service-era log correlation: request_id flows via a contextvar."""
+
+    def teardown_method(self):
+        reset_logging()
+
+    def test_request_id_context_stamps_lines(self):
+        from repro.obs import current_request_id, request_id_context
+
+        stream = io.StringIO()
+        configure_logging("info", json_lines=True, stream=stream)
+        log = get_logger("service")
+        with request_id_context("req-1234"):
+            assert current_request_id() == "req-1234"
+            log.info("inside")
+        assert current_request_id() is None
+        log.info("outside")
+        inside, outside = [
+            json.loads(line)
+            for line in stream.getvalue().strip().splitlines()
+        ]
+        assert inside["request_id"] == "req-1234"
+        assert "request_id" not in outside
+
+    def test_explicit_extra_wins_over_contextvar(self):
+        from repro.obs import request_id_context
+
+        stream = io.StringIO()
+        configure_logging("info", json_lines=True, stream=stream)
+        with request_id_context("from-context"):
+            get_logger("service").info(
+                "x", extra={"request_id": "from-extra"}
+            )
+        record = json.loads(stream.getvalue().strip())
+        assert record["request_id"] == "from-extra"
+
+    def test_context_is_task_local(self):
+        """Concurrent asyncio tasks never see each other's request id."""
+        import asyncio
+
+        from repro.obs import current_request_id, request_id_context
+
+        observed = {}
+
+        async def handler(request_id):
+            with request_id_context(request_id):
+                await asyncio.sleep(0.001)
+                observed[request_id] = current_request_id()
+
+        async def main():
+            await asyncio.gather(
+                *[handler(f"req-{i}") for i in range(8)]
+            )
+
+        asyncio.run(main())
+        assert observed == {f"req-{i}": f"req-{i}" for i in range(8)}
+
+    def test_configured_root_does_not_double_print(self):
+        """configure_logging in a process that already has a root
+        handler (a service embedder, pytest's caplog) must not emit
+        every line twice."""
+        stream = io.StringIO()
+        root_stream = io.StringIO()
+        root_handler = logging.StreamHandler(root_stream)
+        logging.getLogger().addHandler(root_handler)
+        try:
+            configure_logging("info", json_lines=True, stream=stream)
+            get_logger("service").info("once only")
+            assert len(stream.getvalue().strip().splitlines()) == 1
+            assert root_stream.getvalue() == ""
+        finally:
+            logging.getLogger().removeHandler(root_handler)
+
+    def test_reset_restores_propagation(self):
+        configure_logging("info", json_lines=True, stream=io.StringIO())
+        assert logging.getLogger("repro").propagate is False
+        reset_logging()
+        assert logging.getLogger("repro").propagate is True
+
+
 # ----------------------------------------------------------------------
 # Runner accounting riders
 # ----------------------------------------------------------------------

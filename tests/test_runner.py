@@ -80,6 +80,74 @@ class TestResultCache:
         assert cache.entry_count() == 0
 
 
+class TestCachePrune:
+    @staticmethod
+    def _aged_cache(tmp_path, count=4):
+        """Cache with `count` entries whose mtimes ascend with the key."""
+        import os
+
+        cache = ResultCache(tmp_path / "c")
+        for index in range(count):
+            key = format(index, "x") * 64
+            cache.put(key, {"payload": "x" * 512, "index": index})
+            os.utime(cache._path(key), (1_000 + index, 1_000 + index))
+        return cache
+
+    def test_prune_evicts_oldest_first(self, tmp_path):
+        cache = self._aged_cache(tmp_path)
+        entry_bytes = cache._path("0" * 64).stat().st_size
+        outcome = cache.prune(max_bytes=2 * entry_bytes)
+        assert outcome["removed"] == 2
+        assert outcome["kept"] == 2
+        assert outcome["freed_bytes"] == 2 * entry_bytes
+        assert outcome["size_bytes"] <= 2 * entry_bytes
+        # The two oldest entries are gone, the two newest survive.
+        assert cache.get("0" * 64) is None
+        assert cache.get("1" * 64) is None
+        assert cache.get("2" * 64) is not None
+        assert cache.get("3" * 64) is not None
+
+    def test_prune_within_budget_is_a_noop(self, tmp_path):
+        cache = self._aged_cache(tmp_path)
+        outcome = cache.prune(max_bytes=10 * 1024 * 1024)
+        assert outcome["removed"] == 0
+        assert outcome["kept"] == 4
+        assert cache.entry_count() == 4
+
+    def test_prune_to_zero_clears_everything(self, tmp_path):
+        cache = self._aged_cache(tmp_path)
+        outcome = cache.prune(max_bytes=0)
+        assert outcome["removed"] == 4
+        assert cache.entry_count() == 0
+
+    def test_prune_rejects_negative_budget(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        with pytest.raises(ValueError):
+            cache.prune(max_bytes=-1)
+
+    def test_get_refreshes_recency(self, tmp_path):
+        """A cache hit protects the entry from the next prune (LRU)."""
+        cache = self._aged_cache(tmp_path)
+        entry_bytes = cache._path("0" * 64).stat().st_size
+        assert cache.get("0" * 64) is not None  # touch the oldest
+        outcome = cache.prune(max_bytes=2 * entry_bytes)
+        assert outcome["removed"] == 2
+        assert cache.get("0" * 64) is not None  # survived the prune
+        assert cache.get("1" * 64) is None
+        assert cache.get("2" * 64) is None
+
+    def test_prune_leaves_journal_and_quarantine_alone(self, tmp_path):
+        cache = self._aged_cache(tmp_path)
+        journal = tmp_path / "c" / "journal.jsonl"
+        journal.write_text('{"spec": "x"}\n')
+        quarantine = tmp_path / "c" / "objects" / "quarantine"
+        quarantine.mkdir()
+        (quarantine / "bad.json").write_text("{}")
+        cache.prune(max_bytes=0)
+        assert journal.exists()
+        assert (quarantine / "bad.json").exists()
+
+
 class TestCacheKeys:
     def test_config_fingerprint_stable_and_sensitive(self):
         base = SystemConfig()
