@@ -1,0 +1,118 @@
+"""Finding baselines: freeze known findings, fail only on regressions.
+
+A baseline file is a small JSON document listing the stable
+:meth:`~repro.analysis.findings.Finding.fingerprint` of every accepted
+finding::
+
+    {"version": 1, "fingerprints": ["0a1b...", ...]}
+
+``repro lint --write-baseline FILE`` snapshots the current report;
+``repro lint --baseline FILE`` (and the strict pre-flight / runner /
+service admission paths via ``lint_baseline``) then subtracts those
+fingerprints before gating, so legacy findings stop failing CI while
+any *new* finding still does.  Suppression happens per-finding on
+content hashes — reordering findings, adding threads, or rewording fix
+hints does not invalidate a baseline, but any change to a finding's
+rule, severity, location, or message makes it "new" again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.common.errors import AnalysisError
+from repro.analysis.findings import AnalysisReport, Severity
+
+#: Schema version written into baseline files.
+BASELINE_VERSION = 1
+
+
+def baseline_fingerprints(report: AnalysisReport) -> list[str]:
+    """Sorted, de-duplicated fingerprints of the report's findings.
+
+    Suppression notes (INFO findings the linter adds when a rule's cap
+    truncates output) are excluded: they describe the report, not the
+    trace, and their message embeds a count that would churn the
+    baseline on every unrelated change.
+    """
+    return sorted(
+        {
+            f.fingerprint()
+            for f in report.findings
+            if f.severity is not Severity.INFO
+        }
+    )
+
+
+def write_baseline(report: AnalysisReport, path: str | Path) -> int:
+    """Write ``path`` from the report; returns the finding count."""
+    fingerprints = baseline_fingerprints(report)
+    payload = {
+        "version": BASELINE_VERSION,
+        "subject": report.subject,
+        "fingerprints": fingerprints,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return len(fingerprints)
+
+
+def load_baseline(path: str | Path) -> frozenset[str]:
+    """The fingerprint set stored at ``path``.
+
+    Raises :class:`AnalysisError` (exit code 2 at the CLI) when the
+    file is missing, unreadable, or structurally wrong — a broken
+    baseline silently suppressing nothing (or everything) must not
+    masquerade as a passing gate.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        raise AnalysisError(f"baseline file not found: {path}") from None
+    except (OSError, ValueError) as error:
+        raise AnalysisError(
+            f"{path}: not a readable baseline file ({error})"
+        ) from None
+    if not isinstance(payload, dict):
+        raise AnalysisError(f"{path}: baseline must be a JSON object")
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise AnalysisError(
+            f"{path}: unsupported baseline version {version!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    fingerprints = payload.get("fingerprints")
+    if not isinstance(fingerprints, list) or not all(
+        isinstance(fp, str) for fp in fingerprints
+    ):
+        raise AnalysisError(
+            f"{path}: baseline 'fingerprints' must be a list of strings"
+        )
+    return frozenset(fingerprints)
+
+
+def apply_baseline(
+    report: AnalysisReport, fingerprints: frozenset[str] | set[str]
+) -> AnalysisReport:
+    """A new report containing only findings *not* in the baseline.
+
+    INFO-severity suppression notes are kept regardless (they are
+    never baselined, and dropping them would hide that a cap fired).
+    """
+    kept = [
+        f
+        for f in report.findings
+        if f.severity is Severity.INFO
+        or f.fingerprint() not in fingerprints
+    ]
+    return AnalysisReport(subject=report.subject, findings=kept)
+
+
+def baseline_identity(fingerprints: frozenset[str] | set[str]) -> str:
+    """Content hash of a fingerprint set (pre-flight memo keys)."""
+    digest = hashlib.sha256()
+    for fp in sorted(fingerprints):
+        digest.update(fp.encode("ascii"))
+        digest.update(b"\n")
+    return digest.hexdigest()[:16]

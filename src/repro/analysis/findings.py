@@ -9,6 +9,7 @@ a rule id (see :mod:`repro.analysis.rules`), a severity, an optional
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from enum import IntEnum
 
@@ -53,6 +54,26 @@ class Finding:
             "event_index": self.event_index,
             "fix_hint": self.fix_hint,
         }
+
+    def fingerprint(self) -> str:
+        """Stable content hash identifying this finding across runs.
+
+        Hashes the rule id, severity, location, and message — the
+        fields that make two findings "the same" for baseline
+        suppression and SARIF ``partialFingerprints``.  Deliberately
+        excludes ``fix_hint`` (advice can be reworded without changing
+        the finding's identity).
+        """
+        payload = "\x1f".join(
+            (
+                self.rule_id,
+                self.severity.name,
+                str(self.thread_id),
+                str(self.event_index),
+                self.message,
+            )
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass

@@ -1,0 +1,112 @@
+"""SARIF 2.1.0 export of analysis reports.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+is the interchange format CI platforms (GitHub code scanning, Azure
+DevOps, VS Code SARIF viewer) ingest natively, so ``repro lint
+--format sarif`` makes the linter a drop-in CI gate without bespoke
+glue.  The export is intentionally minimal but schema-shaped:
+
+- one ``run`` with a ``tool.driver`` carrying the full rule registry
+  (:data:`repro.analysis.rules.RULES`) as ``reportingDescriptor``
+  objects, so viewers can show rule summaries even for rules with no
+  results;
+- one ``result`` per finding, with the severity mapped onto SARIF
+  levels (ERROR → ``error``, WARNING → ``warning``, INFO → ``note``),
+  the ``t<thread>#<event>`` location as a logical location (trace
+  events have no file/line), and the finding's stable
+  :meth:`~repro.analysis.findings.Finding.fingerprint` under
+  ``partialFingerprints`` — the same hash the baseline file uses, so
+  SARIF-side deduplication and baseline suppression agree.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.findings import AnalysisReport, Finding, Severity
+from repro.analysis.rules import RULES
+
+#: SARIF spec version emitted (and the only one consumers should see).
+SARIF_VERSION = "2.1.0"
+
+#: Canonical schema URI for 2.1.0 documents.
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+    "master/Schemata/sarif-schema-2.1.0.json"
+)
+
+#: The key under ``partialFingerprints`` carrying our content hash.
+#: The ``/v1`` suffix versions the hashing scheme, per SARIF guidance.
+FINGERPRINT_KEY = "repro/finding/v1"
+
+_TOOL_NAME = "repro-lint"
+
+#: Severity → SARIF ``level``.  SARIF has no INFO; ``note`` is its
+#: non-failing informational level.
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _rule_descriptor(rule) -> dict:
+    return {
+        "id": rule.rule_id,
+        "shortDescription": {"text": rule.summary},
+        "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+    }
+
+
+def _result(finding: Finding) -> dict:
+    result: dict = {
+        "ruleId": finding.rule_id,
+        "level": _LEVELS[finding.severity],
+        "message": {"text": finding.message},
+        "partialFingerprints": {FINGERPRINT_KEY: finding.fingerprint()},
+    }
+    if finding.thread_id is not None:
+        result["locations"] = [
+            {
+                "logicalLocations": [
+                    {
+                        "name": finding.location(),
+                        "kind": "traceEvent",
+                    }
+                ]
+            }
+        ]
+    if finding.fix_hint:
+        result["properties"] = {"fixHint": finding.fix_hint}
+    return result
+
+
+def to_sarif(report: AnalysisReport) -> dict:
+    """The report as a SARIF 2.1.0 log object (JSON-ready dict)."""
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": (
+                            "https://doi.org/10.1109/HPCA.2017.54"
+                        ),
+                        "rules": [
+                            _rule_descriptor(rule)
+                            for rule in RULES.values()
+                        ],
+                    }
+                },
+                "properties": {"subject": report.subject},
+                "results": [_result(f) for f in report.findings],
+            }
+        ],
+    }
+
+
+def render_sarif(report: AnalysisReport) -> str:
+    """The report serialized as a SARIF 2.1.0 JSON document."""
+    return json.dumps(to_sarif(report), indent=2)

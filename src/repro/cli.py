@@ -106,6 +106,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="grid mode: static-analysis pre-flight on every trace",
     )
     run.add_argument(
+        "--lint-baseline",
+        metavar="FILE",
+        default=None,
+        help="grid mode: baseline file for the strict pre-flight; "
+        "findings frozen there do not abort the grid",
+    )
+    run.add_argument(
         "--cache-dir",
         default=None,
         help="grid mode: result-cache root (default: .repro_cache)",
@@ -266,6 +273,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--strict",
         action="store_true",
         help="static-analysis pre-flight on every traced workload",
+    )
+    serve.add_argument(
+        "--lint-baseline",
+        metavar="FILE",
+        default=None,
+        help="baseline file for the strict pre-flight; findings "
+        "frozen there do not fail admitted jobs",
     )
     serve.add_argument(
         "--log-level",
@@ -498,7 +512,50 @@ def _build_parser() -> argparse.ArgumentParser:
         "add/sub extension)",
     )
     lint.add_argument(
-        "--json", action="store_true", help="machine-readable output"
+        "--json",
+        action="store_true",
+        help="machine-readable output (same as --format json)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format; sarif emits a SARIF 2.1.0 log for CI "
+        "upload (default: text)",
+    )
+    lint.add_argument(
+        "--engine",
+        choices=("vectorized", "legacy"),
+        default=None,
+        help="analysis engine: vectorized columnar passes (default, "
+        "with per-pass legacy fallback) or the per-event reference "
+        "implementations",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="suppress findings whose fingerprints are frozen in FILE; "
+        "only new findings gate",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="snapshot the current findings' fingerprints to FILE "
+        "and exit 0",
+    )
+    lint.add_argument(
+        "--profile",
+        action="store_true",
+        help="include the vault-contention and per-op offload "
+        "profiles (vectorized whole-trace aggregations)",
+    )
+    lint.add_argument(
+        "--screen",
+        action="store_true",
+        help="screen the trace across the config presets (predicted "
+        "offload/exposure counts per config)",
     )
     lint.add_argument(
         "-v",
@@ -585,6 +642,7 @@ def _cmd_run_grid(args) -> int:
     config = RunnerConfig(
         scale=args.scale,
         strict=args.strict,
+        lint_baseline=args.lint_baseline,
         jobs=args.jobs,
         parallel=not args.no_parallel,
         cache_dir=_resolve_cache_dir(args),
@@ -730,6 +788,7 @@ def _cmd_serve(args) -> int:
         max_cache_mb=args.max_cache_mb,
         runner=RunnerConfig(
             strict=args.strict,
+            lint_baseline=args.lint_baseline,
             cache_dir=_resolve_cache_dir(args),
         ),
     )
@@ -989,12 +1048,14 @@ def _cmd_obs_metrics(args) -> int:
 
 def _cmd_lint(args) -> int:
     from repro.analysis import (
+        apply_baseline,
         describe_rules,
-        detect_races,
         lint_config,
-        lint_trace,
+        load_baseline,
         render_json,
         render_report,
+        render_sarif,
+        write_baseline,
     )
 
     if args.rules:
@@ -1005,9 +1066,12 @@ def _cmd_lint(args) -> int:
               file=sys.stderr)
         return 2
 
+    data_sections: dict = {}
     if args.target in _MODE_CTORS:
         report = lint_config(_MODE_CTORS[args.target]())
     else:
+        from repro.analysis.passes import PassManager
+
         # Raw load: the linter reports malformed traces as findings
         # instead of dying on the loader's own fail-fast checks.
         trace = load_trace(args.target, validate=False)
@@ -1016,11 +1080,46 @@ def _cmd_lint(args) -> int:
             import dataclasses
 
             config = dataclasses.replace(config, fp_extension=False)
-        report = lint_trace(trace, config=config)
-        if not args.no_races:
-            report.extend(detect_races(trace))
-    print(render_json(report) if args.json else
-          render_report(report, verbose=args.verbose))
+        passes = ["lint"] + ([] if args.no_races else ["race"])
+        if args.profile:
+            passes += ["profile", "offload"]
+        screen: list = []
+        if args.screen:
+            passes.append("screening")
+            screen = [ctor() for _, ctor in sorted(_MODE_CTORS.items())]
+        manager = PassManager(passes)
+        results = manager.run(
+            trace,
+            config=config,
+            engine=args.engine,
+            screen_configs=screen,
+        )
+        report = manager.merged_report(
+            results, getattr(trace, "name", None) or "trace"
+        )
+        for name in ("profile", "offload", "screening"):
+            if name in results and results[name].data:
+                data_sections[name] = results[name].data
+
+    if args.write_baseline:
+        count = write_baseline(report, args.write_baseline)
+        print(f"wrote {count} fingerprint(s) to {args.write_baseline}")
+        return 0
+    if args.baseline:
+        report = apply_baseline(report, load_baseline(args.baseline))
+
+    fmt = "json" if args.json else args.format
+    if fmt == "sarif":
+        print(render_sarif(report))
+    elif fmt == "json":
+        payload = json.loads(render_json(report))
+        payload.update(data_sections)
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_report(report, verbose=args.verbose))
+        for name, data in data_sections.items():
+            print(f"\n[{name}]")
+            print(json.dumps(data, indent=2))
     return report.exit_code()
 
 

@@ -138,6 +138,11 @@ class GraphPimSystem:
         is linted + race-checked; ERROR findings raise
         :class:`~repro.common.errors.AnalysisError` instead of
         producing skewed results.
+    lint_baseline:
+        Optional path to a finding-baseline file
+        (:mod:`repro.analysis.baseline`).  When set, the strict
+        pre-flight subtracts the frozen fingerprints before gating, so
+        only new findings raise.
     """
 
     def __init__(
@@ -145,10 +150,12 @@ class GraphPimSystem:
         config: SystemConfig | None = None,
         num_threads: int = 16,
         strict: bool = False,
+        lint_baseline: str | None = None,
     ):
         self.config = config or SystemConfig()
         self.num_threads = num_threads
         self.strict = strict
+        self.lint_baseline = lint_baseline
 
     def trace(self, workload_code: str, graph: CsrGraph, **params) -> WorkloadRun:
         """Phase 1: run the workload functionally and capture its trace."""
@@ -215,4 +222,4 @@ class GraphPimSystem:
         lint_cfg = next(
             (c for c in configs if c.mode is Mode.GRAPHPIM), self.config
         )
-        preflight_run(run, config=lint_cfg)
+        preflight_run(run, config=lint_cfg, baseline=self.lint_baseline)

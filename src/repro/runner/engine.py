@@ -121,7 +121,12 @@ def execute_spec(spec: ExperimentSpec, config: RunnerConfig) -> dict:
             (c for c in spec.modes if c.mode is Mode.GRAPHPIM),
             SystemConfig.graphpim(),
         )
-        preflight_run(run, config=lint_cfg, trace_hash=trace_hash)
+        preflight_run(
+            run,
+            config=lint_cfg,
+            trace_hash=trace_hash,
+            baseline=config.lint_baseline,
+        )
     cache = (
         ResultCache(config.cache_dir) if config.cache_dir is not None else None
     )

@@ -37,6 +37,12 @@ class RunnerConfig:
         Run the static-analysis pre-flight on every traced workload and
         abort the grid on ERROR findings.  Replaces the deprecated
         ``harness.suite.set_strict`` global.
+    lint_baseline:
+        Optional path to a finding-baseline file (see
+        :mod:`repro.analysis.baseline`).  When set, the strict
+        pre-flight subtracts the frozen fingerprints before gating, so
+        only *new* findings abort the grid.  Ignored unless ``strict``
+        is on.
     jobs:
         Worker process count; None means ``os.cpu_count()``.
     parallel:
@@ -83,6 +89,7 @@ class RunnerConfig:
 
     scale: Optional[str] = None
     strict: bool = False
+    lint_baseline: Optional[str] = None
     jobs: Optional[int] = None
     parallel: bool = True
     cache_dir: Optional[str] = DEFAULT_CACHE_DIR

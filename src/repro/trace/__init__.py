@@ -15,7 +15,8 @@ from repro.trace.events import (
     AtomicOp,
     is_fp_op,
 )
-from repro.trace.io import trace_digest
+from repro.trace.columnar import ColumnarTrace, as_columnar
+from repro.trace.io import load_columnar, load_trace, save_trace, trace_digest
 from repro.trace.stream import ThreadTrace, Trace
 from repro.trace.stats import TraceStats, summarize_trace
 
@@ -25,10 +26,15 @@ __all__ = [
     "EV_LOAD",
     "EV_STORE",
     "AtomicOp",
+    "ColumnarTrace",
     "ThreadTrace",
     "Trace",
     "TraceStats",
+    "as_columnar",
     "is_fp_op",
+    "load_columnar",
+    "load_trace",
+    "save_trace",
     "summarize_trace",
     "trace_digest",
 ]

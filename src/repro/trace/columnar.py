@@ -1,0 +1,372 @@
+"""Columnar (structure-of-arrays) trace representation.
+
+:class:`ColumnarTrace` stores a multi-thread event stream as six flat
+``int64`` numpy columns — ``kind``, ``addr``, ``size``, ``gap``, ``op``,
+``ret`` — laid out thread-major (all of thread 0's events, then all of
+thread 1's, ...), with a ``starts`` offset array delimiting the
+per-thread segments.  The column encoding is byte-identical to the one
+the ``.npz`` trace format (:mod:`repro.trace.io`) has always used::
+
+    load/store : (kind, addr,       size, gap, -1, 0)
+    atomic     : (kind, addr,       size, gap, op, with_return)
+    barrier    : (kind, 0,    barrier_id,  gap, -1, 0)
+
+so converting between the tuple form and the columnar form is lossless
+(``to_events(from_events(t)) == t`` for every encodable trace) and the
+content digest is bit-for-bit unchanged — ``.repro_cache/`` result keys
+and service spec_keys survive the representation change.
+
+The vectorized analysis passes (:mod:`repro.analysis.passes`) and the
+future batch simulation kernel consume this form directly; the
+per-event tuple form remains the reference representation for the
+per-event interpreter and the legacy analyzers.
+
+Encodability: an event is columnar-encodable when it has a known kind,
+the exact arity for that kind, and integer fields that fit in int64.
+Traces carrying deliberately malformed tuples (wrong arity, non-int
+fields, unknown kinds) raise :class:`~repro.common.errors.TraceError`
+from :meth:`ColumnarTrace.from_events`; analysis callers fall back to
+the per-event implementations for those, which report the corruption as
+findings instead of dying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+import numpy as np
+
+from repro.common.errors import TraceError
+from repro.trace.events import (
+    EV_ATOMIC,
+    EV_BARRIER,
+    EV_LOAD,
+    EV_STORE,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace.stream import Trace
+
+#: Expected tuple arity per event kind (the encodable subset).
+_EVENT_ARITY = {EV_LOAD: 4, EV_STORE: 4, EV_ATOMIC: 6, EV_BARRIER: 3}
+
+_COLUMNS = ("kind", "addr", "size", "gap", "op", "ret")
+
+
+def _require_int(value, what: str, thread_id: int, index: int) -> int:
+    """Validate one event field as a columnar-encodable integer."""
+    # bool and IntEnum are int subclasses and encode fine; floats and
+    # arbitrary objects do not round-trip and must take the tuple path.
+    if not isinstance(value, (int, np.integer)):
+        raise TraceError(
+            f"thread {thread_id} event {index}: {what} {value!r} is not "
+            f"an integer (not columnar-encodable)"
+        )
+    return int(value)
+
+
+def encode_events(
+    events: Sequence[tuple], thread_id: int = 0
+) -> np.ndarray:
+    """Strictly encode one thread's event tuples as an (N, 6) matrix.
+
+    Unlike the tolerant encoder inside :mod:`repro.trace.io` (which only
+    ever sees events a :class:`~repro.trace.stream.ThreadTrace` builder
+    produced), this validates kind, arity, and field integer-ness, and
+    raises :class:`TraceError` on anything the columnar form cannot
+    represent losslessly.
+    """
+    rows = np.empty((len(events), 6), dtype=np.int64)
+    for i, event in enumerate(events):
+        kind = event[0] if event else None
+        arity = _EVENT_ARITY.get(kind)  # type: ignore[arg-type]
+        if arity is None:
+            raise TraceError(
+                f"thread {thread_id} event {i}: unknown event kind "
+                f"{kind!r} (not columnar-encodable)"
+            )
+        if len(event) != arity:
+            raise TraceError(
+                f"thread {thread_id} event {i}: kind {kind} has arity "
+                f"{len(event)}, expected {arity} (not columnar-encodable)"
+            )
+        try:
+            if kind == EV_BARRIER:
+                rows[i] = (
+                    kind,
+                    0,
+                    _require_int(event[1], "barrier id", thread_id, i),
+                    _require_int(event[2], "gap", thread_id, i),
+                    -1,
+                    0,
+                )
+            elif kind == EV_ATOMIC:
+                rows[i] = (
+                    kind,
+                    _require_int(event[1], "addr", thread_id, i),
+                    _require_int(event[2], "size", thread_id, i),
+                    _require_int(event[3], "gap", thread_id, i),
+                    _require_int(event[4], "atomic op", thread_id, i),
+                    _require_int(event[5], "with_return", thread_id, i),
+                )
+            else:
+                rows[i] = (
+                    kind,
+                    _require_int(event[1], "addr", thread_id, i),
+                    _require_int(event[2], "size", thread_id, i),
+                    _require_int(event[3], "gap", thread_id, i),
+                    -1,
+                    0,
+                )
+        except OverflowError:
+            raise TraceError(
+                f"thread {thread_id} event {i}: field exceeds int64 "
+                f"range (not columnar-encodable)"
+            ) from None
+    return rows
+
+
+@dataclass
+class ColumnarTrace:
+    """Structure-of-arrays form of a multi-thread trace.
+
+    All six columns are flat ``int64`` arrays of length ``num_events``;
+    ``starts`` has ``num_threads + 1`` entries and thread ``t``'s events
+    occupy ``[starts[t], starts[t + 1])``.
+    """
+
+    name: str
+    thread_ids: np.ndarray
+    starts: np.ndarray
+    kind: np.ndarray
+    addr: np.ndarray
+    size: np.ndarray
+    gap: np.ndarray
+    op: np.ndarray
+    ret: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.thread_ids = np.asarray(self.thread_ids, dtype=np.int64)
+        self.starts = np.asarray(self.starts, dtype=np.int64)
+        for column in _COLUMNS:
+            setattr(
+                self,
+                column,
+                np.asarray(getattr(self, column), dtype=np.int64),
+            )
+        if self.thread_ids.size == 0:
+            raise TraceError("a trace needs at least one thread")
+        if len(set(self.thread_ids.tolist())) != self.thread_ids.size:
+            raise TraceError(
+                f"duplicate thread ids: {self.thread_ids.tolist()}"
+            )
+        if self.starts.size != self.thread_ids.size + 1:
+            raise TraceError(
+                "starts must have num_threads + 1 entries "
+                f"(got {self.starts.size} for {self.thread_ids.size} "
+                f"threads)"
+            )
+        total = int(self.starts[-1])
+        if int(self.starts[0]) != 0 or np.any(np.diff(self.starts) < 0):
+            raise TraceError("starts must be non-decreasing from 0")
+        for column in _COLUMNS:
+            if getattr(self, column).size != total:
+                raise TraceError(
+                    f"column {column!r} has {getattr(self, column).size} "
+                    f"entries, expected {total}"
+                )
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+
+    @property
+    def num_threads(self) -> int:
+        """Number of thread streams."""
+        return int(self.thread_ids.size)
+
+    @property
+    def num_events(self) -> int:
+        """Total events across all threads."""
+        return int(self.starts[-1])
+
+    def thread_slice(self, pos: int) -> slice:
+        """Row slice of the thread at position ``pos`` (not thread id)."""
+        return slice(int(self.starts[pos]), int(self.starts[pos + 1]))
+
+    def iter_threads(self) -> Iterator[tuple[int, slice]]:
+        """Yield ``(thread_id, row_slice)`` in thread order."""
+        for pos in range(self.num_threads):
+            yield int(self.thread_ids[pos]), self.thread_slice(pos)
+
+    # ------------------------------------------------------------------
+    # Derived per-event arrays (used by the vectorized passes)
+    # ------------------------------------------------------------------
+
+    def event_thread_pos(self) -> np.ndarray:
+        """Thread *position* (0..T-1) of every event, thread-major."""
+        counts = np.diff(self.starts)
+        return np.repeat(
+            np.arange(self.num_threads, dtype=np.int64), counts
+        )
+
+    def event_index_in_thread(self) -> np.ndarray:
+        """Index of every event within its own thread's stream."""
+        pos = self.event_thread_pos()
+        return (
+            np.arange(self.num_events, dtype=np.int64) - self.starts[pos]
+        )
+
+    def epoch_ids(self) -> np.ndarray:
+        """Barrier-epoch index of every event within its thread.
+
+        Epoch ``k`` spans the events after a thread's ``k``-th barrier
+        (and before its ``k+1``-th); barrier events themselves carry the
+        index of the epoch they close, mirroring the legacy race
+        detector's ``_split_epochs`` segmentation.
+        """
+        out = np.empty(self.num_events, dtype=np.int64)
+        for _tid, rows in self.iter_threads():
+            is_barrier = self.kind[rows] == EV_BARRIER
+            closed = np.cumsum(is_barrier)
+            out[rows] = closed - is_barrier
+        return out
+
+    def barrier_sequences(self) -> list[np.ndarray]:
+        """Per-thread barrier id arrays, in thread order."""
+        sequences = []
+        for _tid, rows in self.iter_threads():
+            mask = self.kind[rows] == EV_BARRIER
+            sequences.append(self.size[rows][mask])
+        return sequences
+
+    def validate_barriers(self) -> None:
+        """Fail fast on mismatched per-thread barrier sequences."""
+        sequences = self.barrier_sequences()
+        first = sequences[0]
+        for pos in range(1, self.num_threads):
+            seq = sequences[pos]
+            if seq.size != first.size or not np.array_equal(seq, first):
+                raise TraceError(
+                    f"barrier sequence mismatch between thread "
+                    f"{int(self.thread_ids[0])} and "
+                    f"{int(self.thread_ids[pos])}"
+                )
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_events(cls, trace: "Trace") -> "ColumnarTrace":
+        """Lossless conversion from the per-event tuple form.
+
+        Raises :class:`TraceError` when any event is not
+        columnar-encodable (unknown kind, wrong arity, non-integer or
+        out-of-range field); callers needing to analyze such traces use
+        the per-event path instead.
+        """
+        matrices = [
+            encode_events(thread.events, thread.thread_id)
+            for thread in trace.threads
+        ]
+        counts = [m.shape[0] for m in matrices]
+        starts = np.zeros(len(matrices) + 1, dtype=np.int64)
+        np.cumsum(counts, out=starts[1:])
+        stacked = (
+            np.concatenate(matrices)
+            if sum(counts)
+            else np.empty((0, 6), dtype=np.int64)
+        )
+        columns = {
+            column: np.ascontiguousarray(stacked[:, i])
+            for i, column in enumerate(_COLUMNS)
+        }
+        return cls(
+            name=trace.name,
+            thread_ids=np.asarray(
+                [t.thread_id for t in trace.threads], dtype=np.int64
+            ),
+            starts=starts,
+            **columns,
+        )
+
+    def thread_matrix(self, pos: int) -> np.ndarray:
+        """One thread's events as the canonical (N, 6) int64 matrix.
+
+        Byte-identical to what :func:`repro.trace.io.save_trace` writes
+        and :func:`repro.trace.io.trace_digest` hashes for the tuple
+        form, which is what keeps digests representation-independent.
+        """
+        rows = self.thread_slice(pos)
+        return np.ascontiguousarray(
+            np.column_stack(
+                [getattr(self, column)[rows] for column in _COLUMNS]
+            )
+        )
+
+    def to_events(self) -> "Trace":
+        """Convert back to the per-event tuple form."""
+        from repro.trace.io import decode_thread_matrix
+
+        threads = [
+            decode_thread_matrix(tid, self.thread_matrix(pos))
+            for pos, tid in enumerate(self.thread_ids.tolist())
+        ]
+        return _make_trace(threads, self.name)
+
+    @classmethod
+    def from_thread_matrices(
+        cls,
+        name: str,
+        thread_ids: Sequence[int],
+        matrices: Sequence[np.ndarray],
+    ) -> "ColumnarTrace":
+        """Assemble from per-thread (N, 6) matrices (the npz layout)."""
+        mats = [
+            np.asarray(m, dtype=np.int64).reshape(-1, 6) for m in matrices
+        ]
+        counts = [m.shape[0] for m in mats]
+        starts = np.zeros(len(mats) + 1, dtype=np.int64)
+        np.cumsum(counts, out=starts[1:])
+        stacked = (
+            np.concatenate(mats)
+            if sum(counts)
+            else np.empty((0, 6), dtype=np.int64)
+        )
+        unknown = ~np.isin(
+            stacked[:, 0], np.asarray(list(_EVENT_ARITY), dtype=np.int64)
+        )
+        if np.any(unknown):
+            bad = int(stacked[np.argmax(unknown), 0])
+            raise TraceError(f"unknown event kind {bad} in trace file")
+        columns = {
+            column: np.ascontiguousarray(stacked[:, i])
+            for i, column in enumerate(_COLUMNS)
+        }
+        return cls(
+            name=name,
+            thread_ids=np.asarray(thread_ids, dtype=np.int64),
+            starts=starts,
+            **columns,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarTrace(name={self.name!r}, "
+            f"threads={self.num_threads}, events={self.num_events})"
+        )
+
+
+def _make_trace(threads, name: str):
+    from repro.trace.stream import Trace
+
+    return Trace(threads, name=name)
+
+
+def as_columnar(trace) -> ColumnarTrace:
+    """Coerce a :class:`Trace` or :class:`ColumnarTrace` to columnar."""
+    if isinstance(trace, ColumnarTrace):
+        return trace
+    return ColumnarTrace.from_events(trace)

@@ -8,6 +8,13 @@ column-oriented array set per thread.
 
 Event columns: ``kind``, ``addr``, ``size`` (barrier id for barrier
 events), ``gap``, ``op`` (-1 when not an atomic), ``ret`` (0/1).
+
+The on-disk layout is shared by the per-event tuple form
+(:class:`~repro.trace.stream.Trace`) and the columnar
+structure-of-arrays form (:class:`~repro.trace.columnar.ColumnarTrace`):
+one file loads as either, :func:`save_trace` accepts both, and
+:func:`trace_digest` hashes both to the same value — so cache keys and
+spec_keys never depend on which representation produced the trace.
 """
 
 from __future__ import annotations
@@ -15,10 +22,13 @@ from __future__ import annotations
 import hashlib
 import os
 import zipfile
+import zlib
+from typing import Union
 
 import numpy as np
 
 from repro.common.errors import TraceError
+from repro.trace.columnar import ColumnarTrace
 from repro.trace.events import (
     EV_ATOMIC,
     EV_BARRIER,
@@ -29,6 +39,8 @@ from repro.trace.events import (
 from repro.trace.stream import ThreadTrace, Trace
 
 _FORMAT_VERSION = 1
+
+AnyTrace = Union[Trace, ColumnarTrace]
 
 
 def _encode_thread(thread: ThreadTrace) -> np.ndarray:
@@ -52,7 +64,7 @@ def _encode_thread(thread: ThreadTrace) -> np.ndarray:
     return rows
 
 
-def _decode_thread(thread_id: int, rows: np.ndarray) -> ThreadTrace:
+def decode_thread_matrix(thread_id: int, rows: np.ndarray) -> ThreadTrace:
     """Unpack an (N, 6) matrix back into event tuples."""
     thread = ThreadTrace(thread_id)
     events = thread.events
@@ -76,43 +88,60 @@ def _decode_thread(thread_id: int, rows: np.ndarray) -> ThreadTrace:
     return thread
 
 
-def trace_digest(trace: Trace) -> str:
+#: Backwards-compatible private alias (pre-columnar callers/tests).
+_decode_thread = decode_thread_matrix
+
+
+def _thread_matrices(trace: AnyTrace) -> "list[tuple[int, np.ndarray]]":
+    """Canonical per-thread (id, (N, 6) matrix) pairs for either form."""
+    if isinstance(trace, ColumnarTrace):
+        return [
+            (int(tid), trace.thread_matrix(pos))
+            for pos, tid in enumerate(trace.thread_ids.tolist())
+        ]
+    return [(t.thread_id, _encode_thread(t)) for t in trace.threads]
+
+
+def trace_digest(trace: AnyTrace) -> str:
     """Stable content hash of a trace (sha256 hex digest).
 
     Hashes the same column-oriented encoding the ``.npz`` format uses,
     so the digest identifies the trace *content* independently of how
-    it was produced (fresh execution vs. loaded from disk).  The
-    experiment runner keys its on-disk result cache on this, and the
-    strict pre-flight uses it to skip re-linting an already-clean trace.
+    it was produced (fresh execution, loaded from disk, tuple form, or
+    columnar form).  The experiment runner keys its on-disk result
+    cache on this, and the strict pre-flight uses it to skip re-linting
+    an already-clean trace.
     """
     digest = hashlib.sha256()
     digest.update(str(trace.num_threads).encode())
-    for thread in trace.threads:
-        digest.update(str(thread.thread_id).encode())
-        digest.update(_encode_thread(thread).tobytes())
+    for thread_id, matrix in _thread_matrices(trace):
+        digest.update(str(thread_id).encode())
+        digest.update(matrix.tobytes())
     return digest.hexdigest()
 
 
-def save_trace(trace: Trace, path: str | os.PathLike) -> None:
-    """Write ``trace`` to a compressed ``.npz`` bundle."""
+def save_trace(trace: AnyTrace, path: str | os.PathLike) -> None:
+    """Write a trace (tuple or columnar form) to a ``.npz`` bundle."""
     payload = {
         "version": np.asarray([_FORMAT_VERSION]),
         "name": np.asarray([trace.name]),
-        "thread_ids": np.asarray(
-            [t.thread_id for t in trace.threads], dtype=np.int64
-        ),
     }
-    for thread in trace.threads:
-        payload[f"thread_{thread.thread_id}"] = _encode_thread(thread)
+    pairs = _thread_matrices(trace)
+    payload["thread_ids"] = np.asarray(
+        [tid for tid, _ in pairs], dtype=np.int64
+    )
+    for thread_id, matrix in pairs:
+        payload[f"thread_{thread_id}"] = matrix
     np.savez_compressed(path, **payload)
 
 
-def load_trace(path: str | os.PathLike, validate: bool = True) -> Trace:
-    """Read a trace previously written by :func:`save_trace`.
+def _read_bundle(path: str | os.PathLike) -> "tuple[str, list, list]":
+    """Load and version-check an ``.npz`` bundle's raw arrays.
 
-    ``validate=False`` skips the fail-fast barrier check so analysis
-    tools (``repro lint``) can load a malformed trace and report *what*
-    is wrong instead of dying on the first inconsistency.
+    Returns ``(name, thread_ids, matrices)``; normalizes the grab-bag
+    of load-time failures (truncated zip, missing member, corrupt
+    deflate stream, non-npz bytes) to :class:`TraceError` so callers
+    have one failure mode — and the CLI one exit code (2).
     """
     try:
         with np.load(path, allow_pickle=False) as bundle:
@@ -124,23 +153,70 @@ def load_trace(path: str | os.PathLike, validate: bool = True) -> Trace:
                 )
             name = str(bundle["name"][0])
             thread_ids = bundle["thread_ids"].tolist()
-            threads = [
-                _decode_thread(tid, bundle[f"thread_{tid}"])
-                for tid in thread_ids
-            ]
+            matrices = [bundle[f"thread_{tid}"] for tid in thread_ids]
     except FileNotFoundError:
         raise
     except TraceError as error:
         raise TraceError(f"{os.fspath(path)}: {error}") from None
-    except (OSError, ValueError, KeyError, zipfile.BadZipFile) as error:
+    except (
+        OSError,
+        ValueError,
+        KeyError,
+        EOFError,
+        zipfile.BadZipFile,
+        zlib.error,
+    ) as error:
         # np.load raises a grab-bag depending on *how* the file is bad
-        # (truncated zip, missing member, non-npz bytes); normalize to
-        # TraceError so callers have one failure mode, and keep the
-        # path — np's own messages often omit it.
+        # (truncated zip, missing member, non-npz bytes, a member whose
+        # deflate stream is corrupt); normalize to TraceError so
+        # callers have one failure mode, and keep the path — np's own
+        # messages often omit it.
         raise TraceError(
             f"{os.fspath(path)}: not a readable trace bundle ({error})"
         ) from error
+    return name, thread_ids, matrices
+
+
+def load_trace(path: str | os.PathLike, validate: bool = True) -> Trace:
+    """Read a trace previously written by :func:`save_trace`.
+
+    ``validate=False`` skips the fail-fast barrier check so analysis
+    tools (``repro lint``) can load a malformed trace and report *what*
+    is wrong instead of dying on the first inconsistency.
+    """
+    name, thread_ids, matrices = _read_bundle(path)
+    try:
+        threads = [
+            decode_thread_matrix(tid, rows)
+            for tid, rows in zip(thread_ids, matrices)
+        ]
+    except TraceError as error:
+        raise TraceError(f"{os.fspath(path)}: {error}") from None
     trace = Trace(threads, name=name)
     if validate:
         trace.validate_barriers()
     return trace
+
+
+def load_columnar(
+    path: str | os.PathLike, validate: bool = True
+) -> ColumnarTrace:
+    """Read a trace bundle directly into the columnar form.
+
+    This is the fast path — pure array concatenation, no per-event
+    tuple materialization — and the representation the vectorized
+    analysis passes and the batch kernel consume.  ``validate=False``
+    skips the barrier-balance fail-fast exactly like :func:`load_trace`
+    (unknown event kinds still raise: they are unrepresentable in
+    either form).
+    """
+    name, thread_ids, matrices = _read_bundle(path)
+    try:
+        columnar = ColumnarTrace.from_thread_matrices(
+            name, thread_ids, matrices
+        )
+    except TraceError as error:
+        raise TraceError(f"{os.fspath(path)}: {error}") from None
+    if validate:
+        columnar.validate_barriers()
+    return columnar
