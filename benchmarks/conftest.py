@@ -31,11 +31,7 @@ def _warm_grid(scale):
     jobs_env = os.environ.get("REPRO_JOBS")
     if not jobs_env:
         return
-    from repro.harness import (
-        prime_evaluation_suite,
-        prime_motivation_suite,
-        prime_plain_atomics_suite,
-    )
+    from repro.harness import adopt_grid_results
     from repro.runner import RunnerConfig, run_full_grid
 
     config = RunnerConfig(
@@ -45,9 +41,7 @@ def _warm_grid(scale):
         cache_dir=os.environ.get("REPRO_CACHE_DIR"),
     )
     grid, report = run_full_grid(config)
-    prime_evaluation_suite(scale, grid.evaluation)
-    prime_motivation_suite(scale, grid.motivation)
-    prime_plain_atomics_suite(scale, grid.plain)
+    adopt_grid_results(scale, grid)
     print()
     print(report.summary())
 

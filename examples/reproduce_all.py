@@ -25,10 +25,8 @@ import time
 from repro.analysis import check_strict, lint_config
 from repro.harness import (
     EXPERIMENTS,
+    adopt_grid_results,
     get_experiment,
-    prime_evaluation_suite,
-    prime_motivation_suite,
-    prime_plain_atomics_suite,
     run_experiment,
 )
 from repro.harness.charts import bar_chart
@@ -90,9 +88,7 @@ def main() -> None:
     print(f"Reproducing {len(experiments)} artifacts at scale={scale!r}\n")
     total_start = time.time()
     grid, runner_report = run_full_grid(runner_config)
-    prime_evaluation_suite(scale, grid.evaluation)
-    prime_motivation_suite(scale, grid.motivation)
-    prime_plain_atomics_suite(scale, grid.plain)
+    adopt_grid_results(scale, grid)
     print(runner_report.summary())
     print()
 

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI gate: style lint, type check, tier-1 tests, trace-lint (text +
 # SARIF + baseline gating), analysis-engine benchmark smoke,
+# simulation-kernel equivalence (both engines, diffed JSON),
 # fault-injection smoke runs, observability smoke, and an end-to-end
 # smoke of the simulation service (boot, submit, SIGTERM drain).
 #
@@ -116,6 +117,39 @@ step "analysis engine benchmark (tiny-scale equivalence smoke)"
 # equivalence check wired into every CI pass.
 run_or_fail env REPRO_SCALE=tiny python -m pytest -q \
     benchmarks/test_analysis_bench.py
+
+step "simulation kernel benchmark (tiny-scale equivalence smoke)"
+# Full-throughput numbers and the >=5x floor guard live in
+# BENCH_kernel.json (small scale); here the benchmark runs at tiny
+# scale as a fast both-engines bit-identity check on every CI pass.
+run_or_fail env REPRO_SCALE=tiny python -m pytest -q \
+    benchmarks/test_kernel_bench.py
+
+step "simulation engines (both engines, diff the JSON results)"
+# The batch kernel and the per-event reference must produce
+# byte-identical reports through the whole grid path, not just in
+# unit-test harnesses.  No cache: both runs must actually simulate.
+engine_dir="$(mktemp -d)"
+run_or_fail python -m repro run --scale tiny --jobs 2 --no-cache \
+    --engine legacy --json > "$engine_dir/legacy.json"
+run_or_fail python -m repro run --scale tiny --jobs 2 --no-cache \
+    --engine auto --json > "$engine_dir/auto.json"
+if python -c '
+import json, sys
+a = json.load(open(sys.argv[1]))["workloads"]
+b = json.load(open(sys.argv[2]))["workloads"]
+assert a.keys() == b.keys() and a, "workload sets differ"
+for code in a:
+    if a[code] != b[code]:
+        raise SystemExit(f"engine results differ for {code}")
+print(f"engine diff: {len(a)} workload(s) byte-identical")
+' "$engine_dir/legacy.json" "$engine_dir/auto.json"; then
+    echo "engine equivalence smoke passed"
+else
+    echo "engine equivalence smoke FAILED"
+    failures=$((failures + 1))
+fi
+rm -rf "$engine_dir"
 
 step "repro run (parallel grid + result cache smoke)"
 cache_dir="$(mktemp -d)/repro_cache"

@@ -19,33 +19,44 @@ Quickstart::
     print(report.summary())
 """
 
+from repro.common.engine import EngineInfo, EngineSelection
 from repro.core.api import EvaluationReport, GraphPimSystem
 from repro.core.presets import bench_graph, sim_scale_config
+from repro.faults import FaultPlan
 from repro.graph.generators import (
     grid_graph,
     ldbc_like_graph,
     rmat_graph,
     uniform_random_graph,
 )
+from repro.runner.engine import execute_spec
+from repro.runner.spec import ExperimentSpec, RunnerConfig
 from repro.sim.config import Mode, SystemConfig
-from repro.sim.system import SimResult, simulate
+from repro.sim.system import SimResult, simulate, simulate_with_engine
 from repro.workloads import all_workloads, get_workload
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "EngineInfo",
+    "EngineSelection",
     "EvaluationReport",
+    "ExperimentSpec",
+    "FaultPlan",
     "GraphPimSystem",
     "Mode",
+    "RunnerConfig",
     "SimResult",
     "SystemConfig",
     "all_workloads",
     "bench_graph",
+    "execute_spec",
     "get_workload",
     "grid_graph",
     "ldbc_like_graph",
     "rmat_graph",
     "sim_scale_config",
     "simulate",
+    "simulate_with_engine",
     "uniform_random_graph",
 ]

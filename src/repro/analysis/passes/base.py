@@ -15,19 +15,22 @@ implementation over the tuple form, or both:
 - ``profile`` / ``offload`` / ``screening`` are **vectorized-only** —
   whole-trace aggregations the per-event linter could never afford.
 
-The :class:`PassManager` owns engine selection: ``"vectorized"`` (the
-default) runs columnar implementations and silently falls back per pass
-when one returns ``None`` or the trace is not encodable; ``"legacy"``
-forces the per-event oracles.  The ``REPRO_ANALYSIS_ENGINE`` environment
-variable overrides the default for a whole process.
+The :class:`PassManager` owns engine selection through the shared
+:class:`~repro.common.engine.EngineSelection` vocabulary: ``"auto"``
+and ``"vectorized"`` run columnar implementations and silently fall
+back per pass when one returns ``None`` or the trace is not encodable;
+``"legacy"`` forces the per-event oracles.  The ``REPRO_ENGINE``
+environment variable overrides the default for a whole process (the
+analysis-only ``REPRO_ANALYSIS_ENGINE`` still works, with a
+:class:`DeprecationWarning`).
 """
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Sequence
 
+from repro.common.engine import EngineSelection, resolve_engine
 from repro.common.errors import ConfigError, TraceError
 from repro.sim.config import SystemConfig
 from repro.trace.columnar import ColumnarTrace
@@ -38,16 +41,27 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.trace.stream import Trace
 
 #: Engine names accepted by :meth:`PassManager.run`.
-ENGINES = ("vectorized", "legacy")
+ENGINES = tuple(e.value for e in EngineSelection)
 
-#: Environment override for the default engine (tests, bisection).
+#: Deprecated analysis-only environment override; still honored by
+#: :func:`repro.common.engine.engine_from_env` (which warns), kept here
+#: because PR 6 exported it from this module.
 ENGINE_ENV = "REPRO_ANALYSIS_ENGINE"
 
 
 def default_engine() -> str:
-    """Process-wide default engine (``REPRO_ANALYSIS_ENGINE`` or vectorized)."""
-    engine = os.environ.get(ENGINE_ENV, "vectorized").strip().lower()
-    return engine if engine in ENGINES else "vectorized"
+    """Process-wide default engine name.
+
+    Resolution lives in :func:`repro.common.engine.resolve_engine`
+    (``REPRO_ENGINE``, then the deprecated ``REPRO_ANALYSIS_ENGINE``
+    with a warning).  ``auto`` and ``vectorized`` are the same
+    execution for analysis passes — columnar with per-pass fallback —
+    so the ambient default reports as ``"vectorized"``.
+    """
+    selection = resolve_engine(None)
+    if selection is EngineSelection.AUTO:
+        return EngineSelection.VECTORIZED.value
+    return selection.value
 
 
 @dataclass
@@ -160,11 +174,8 @@ class PassManager:
 
         ``trace`` may be a tuple-form ``Trace`` or a ``ColumnarTrace``.
         """
-        engine = engine or default_engine()
-        if engine not in ENGINES:
-            raise ConfigError(
-                f"unknown analysis engine {engine!r}; choose from {ENGINES}"
-            )
+        selection = resolve_engine(engine)
+        wants_vectorized = selection.wants_vectorized
         ctx = PassContext(
             config=config or SystemConfig.graphpim(),
             address_space=address_space,
@@ -174,7 +185,7 @@ class PassManager:
             ctx.columnar = trace
         else:
             ctx.trace = trace
-            if engine == "vectorized":
+            if wants_vectorized:
                 try:
                     ctx.columnar = ColumnarTrace.from_events(trace)
                 except TraceError:
@@ -186,7 +197,7 @@ class PassManager:
         results: dict[str, PassResult] = {}
         for pass_ in self.passes:
             result = None
-            if engine == "vectorized" and ctx.columnar is not None:
+            if wants_vectorized and ctx.columnar is not None:
                 result = pass_.run_columnar(ctx)
             if result is None:
                 result = pass_.run_legacy(ctx)

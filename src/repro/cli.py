@@ -172,6 +172,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="grid mode: format run logs as JSON lines (implies "
         "--log-level info unless set)",
     )
+    run.add_argument(
+        "--engine",
+        choices=("auto", "vectorized", "legacy"),
+        default=None,
+        help="simulation engine: auto (batch kernel with per-trace "
+        "fallback), vectorized, or legacy (the per-event reference "
+        "interpreter); default: REPRO_ENGINE or auto",
+    )
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the persistent result cache"
@@ -292,6 +300,14 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="format service logs as JSON lines (implies --log-level "
         "info unless set)",
+    )
+    serve.add_argument(
+        "--engine",
+        choices=("auto", "vectorized", "legacy"),
+        default=None,
+        help="simulation engine for every admitted job (default: "
+        "REPRO_ENGINE or auto); fallbacks surface on the "
+        "service_engine_fallbacks_total metric",
     )
 
     submit = sub.add_parser(
@@ -525,11 +541,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--engine",
-        choices=("vectorized", "legacy"),
+        choices=("auto", "vectorized", "legacy"),
         default=None,
-        help="analysis engine: vectorized columnar passes (default, "
-        "with per-pass legacy fallback) or the per-event reference "
-        "implementations",
+        help="analysis engine: auto/vectorized columnar passes (with "
+        "per-pass legacy fallback) or the per-event reference "
+        "implementations; default: REPRO_ENGINE or auto",
     )
     lint.add_argument(
         "--baseline",
@@ -605,12 +621,20 @@ def _cmd_run(args) -> int:
     graph = _make_graph(args)
     plan = _parse_faults(args)
     system = GraphPimSystem(
-        config=SystemConfig(faults=plan), num_threads=args.threads
+        config=SystemConfig(faults=plan),
+        num_threads=args.threads,
+        engine=args.engine,
     )
     report = system.evaluate(
         args.workload, graph, **workload_params(args.workload)
     )
     print(report.summary())
+    engines = sorted({i.engine for i in report.engine_infos.values()})
+    fallbacks = report.engine_fallbacks
+    print(
+        f"  engine   : {'+'.join(engines)}"
+        + (f" ({fallbacks} mode(s) fell back)" if fallbacks else "")
+    )
     if plan is not None:
         stats = report.results["GraphPIM"].hmc_stats
         print(
@@ -652,6 +676,7 @@ def _cmd_run_grid(args) -> int:
         resume=args.resume,
         log_level=log_level,
         log_json=args.log_json,
+        engine=args.engine,
     )
 
     def progress(record) -> None:
@@ -790,6 +815,7 @@ def _cmd_serve(args) -> int:
             strict=args.strict,
             lint_baseline=args.lint_baseline,
             cache_dir=_resolve_cache_dir(args),
+            engine=args.engine,
         ),
     )
 

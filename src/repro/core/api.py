@@ -11,10 +11,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.common.engine import EngineInfo, EngineSelection
 from repro.common.errors import SimulationError
 from repro.graph.csr import CsrGraph
 from repro.sim.config import SystemConfig
-from repro.sim.system import RESULT_SCHEMA_VERSION, SimResult, simulate
+from repro.sim.system import (
+    RESULT_SCHEMA_VERSION,
+    SimResult,
+    simulate_with_engine,
+)
 from repro.workloads.base import WorkloadRun
 from repro.workloads.registry import get_workload
 
@@ -31,6 +36,17 @@ class EvaluationReport:
     workload_code: str
     run: Optional[WorkloadRun] = None
     results: dict[str, SimResult] = field(default_factory=dict)
+    #: Which engine produced each mode's result (observability only —
+    #: results are bit-identical across engines, so this never enters
+    #: the serialized payload and is empty on rehydrated reports).
+    engine_infos: dict[str, EngineInfo] = field(default_factory=dict)
+
+    @property
+    def engine_fallbacks(self) -> int:
+        """Modes whose vectorized kernel declined and fell back."""
+        return sum(
+            1 for info in self.engine_infos.values() if info.fallback
+        )
 
     @property
     def baseline(self) -> SimResult:
@@ -143,6 +159,14 @@ class GraphPimSystem:
         (:mod:`repro.analysis.baseline`).  When set, the strict
         pre-flight subtracts the frozen fingerprints before gating, so
         only new findings raise.
+    engine:
+        Simulation engine selection (``auto`` / ``vectorized`` /
+        ``legacy``, or an
+        :class:`~repro.common.engine.EngineSelection`); None resolves
+        the ambient default (``REPRO_ENGINE`` env, then auto).  Results
+        are bit-identical across engines; the per-mode engine that
+        actually ran is reported on
+        :attr:`EvaluationReport.engine_infos`.
     """
 
     def __init__(
@@ -151,11 +175,13 @@ class GraphPimSystem:
         num_threads: int = 16,
         strict: bool = False,
         lint_baseline: str | None = None,
+        engine: "EngineSelection | str | None" = None,
     ):
         self.config = config or SystemConfig()
         self.num_threads = num_threads
         self.strict = strict
         self.lint_baseline = lint_baseline
+        self.engine = EngineSelection.coerce(engine)
 
     def trace(self, workload_code: str, graph: CsrGraph, **params) -> WorkloadRun:
         """Phase 1: run the workload functionally and capture its trace."""
@@ -193,7 +219,11 @@ class GraphPimSystem:
             workload_code=run.workload.code, run=run
         )
         for config in configs:
-            report.results[config.display_name] = simulate(run.trace, config)
+            result, info = simulate_with_engine(
+                run.trace, config, engine=self.engine
+            )
+            report.results[config.display_name] = result
+            report.engine_infos[config.display_name] = info
         return report
 
     def _resolve_strict(self, strict: bool | None) -> bool:

@@ -15,6 +15,7 @@ from repro.harness.registry import (
     run_experiment,
 )
 from repro.harness.suite import (
+    adopt_grid_results,
     default_runner,
     evaluation_suite,
     motivation_suite,
@@ -27,6 +28,7 @@ from repro.harness.suite import (
 __all__ = [
     "EXPERIMENTS",
     "ExperimentResult",
+    "adopt_grid_results",
     "default_runner",
     "evaluation_suite",
     "get_experiment",

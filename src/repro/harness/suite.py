@@ -13,8 +13,9 @@ by an explicit :class:`~repro.runner.RunnerConfig` argument.  The old
 module-global toggle (:func:`set_strict` / :func:`strict_enabled`) is
 deprecated; orchestrators that want a pre-warmed grid (CLI ``repro
 run``, ``examples/reproduce_all.py``, the benchmark session fixture)
-run the grid themselves and hand the products to the ``prime_*``
-functions.
+run the grid themselves and hand the products to
+:func:`adopt_grid_results` (the per-memo ``prime_*`` trio is
+deprecated).
 """
 
 from __future__ import annotations
@@ -209,24 +210,52 @@ def plain_atomics_suite(
 # ----------------------------------------------------------------------
 
 
+def adopt_grid_results(scale: str, grid) -> None:
+    """Seed all three suite memos from one full-grid run.
+
+    ``grid`` is the :class:`~repro.runner.engine.GridResults` returned
+    by :func:`~repro.runner.engine.run_full_grid`.  This is the
+    supported hand-over path for orchestrators (CLI, reproduce_all, the
+    benchmark session fixture); the per-memo ``prime_*`` trio it
+    supersedes survives as deprecated shims.
+    """
+    scale = resolve_scale(scale)
+    _EVAL_CACHE[scale] = dict(grid.evaluation)
+    _MOTIVATION_CACHE[scale] = dict(grid.motivation)
+    _PLAIN_CACHE[scale] = dict(grid.plain)
+
+
+def _warn_prime_deprecated(name: str) -> None:
+    warnings.warn(
+        f"{name} is deprecated; run the grid through "
+        "repro.runner.run_full_grid and hand the GridResults to "
+        "adopt_grid_results(scale, grid)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def prime_evaluation_suite(
     scale: str, reports: dict[str, EvaluationReport]
 ) -> None:
-    """Seed the evaluation memo with runner-produced reports."""
+    """Deprecated: seed the evaluation memo with runner reports."""
+    _warn_prime_deprecated("prime_evaluation_suite")
     _EVAL_CACHE[resolve_scale(scale)] = dict(reports)
 
 
 def prime_motivation_suite(
     scale: str, results: dict[str, tuple[WorkloadRun, SimResult]]
 ) -> None:
-    """Seed the motivation memo with runner-produced (run, result)s."""
+    """Deprecated: seed the motivation memo with (run, result)s."""
+    _warn_prime_deprecated("prime_motivation_suite")
     _MOTIVATION_CACHE[resolve_scale(scale)] = dict(results)
 
 
 def prime_plain_atomics_suite(
     scale: str, results: dict[str, SimResult]
 ) -> None:
-    """Seed the plain-atomics memo with runner-produced results."""
+    """Deprecated: seed the plain-atomics memo with results."""
+    _warn_prime_deprecated("prime_plain_atomics_suite")
     _PLAIN_CACHE[resolve_scale(scale)] = dict(results)
 
 

@@ -84,6 +84,11 @@ class SpecOutcome:
     trace_hash: str
     results: dict[str, SimResult] = field(default_factory=dict)
     cached: dict[str, bool] = field(default_factory=dict)
+    #: Per-mode engine that executed the simulation ("vectorized" /
+    #: "legacy"); None for modes served from the result cache.
+    engines: dict[str, Optional[str]] = field(default_factory=dict)
+    #: Per-mode vectorized-declined flag (False for cached modes).
+    fallbacks: dict[str, bool] = field(default_factory=dict)
 
     def report(self) -> EvaluationReport:
         """View as the facade's per-workload report type."""
@@ -100,9 +105,14 @@ def execute_spec(spec: ExperimentSpec, config: RunnerConfig) -> dict:
     Payload layout::
 
         {"run": WorkloadRun, "trace_hash": str, "seconds": float,
-         "modes": {label: {"payload": SimResult.to_dict(), "cached": bool}}}
+         "modes": {label: {"payload": SimResult.to_dict(), "cached": bool,
+                           "engine": str | None, "fallback": bool}}}
+
+    ``engine`` names the implementation that produced a freshly
+    simulated mode (``None`` for cache hits, whose producing engine is
+    unknowable — and irrelevant, results being bit-identical).
     """
-    from repro.sim.system import simulate  # local: keeps fork cost low
+    from repro.sim.system import simulate_with_engine  # local: fork cost
 
     started = time.perf_counter()
     graph = workload_graph(spec.workload, spec.scale)
@@ -141,8 +151,15 @@ def execute_spec(spec: ExperimentSpec, config: RunnerConfig) -> dict:
                 SimResult.from_dict(payload)
             except ReproError:
                 payload = None
+        engine_name: Optional[str] = None
+        fallback = False
         if payload is None:
-            payload = simulate(run.trace, mode_config).to_dict()
+            result, engine_info = simulate_with_engine(
+                run.trace, mode_config, engine=config.engine
+            )
+            payload = result.to_dict()
+            engine_name = engine_info.engine
+            fallback = engine_info.fallback
             if cache is not None:
                 cache.put(key, payload)
             cached = False
@@ -151,6 +168,8 @@ def execute_spec(spec: ExperimentSpec, config: RunnerConfig) -> dict:
         modes[mode_config.display_name] = {
             "payload": payload,
             "cached": cached,
+            "engine": engine_name,
+            "fallback": fallback,
         }
     return {
         "run": run,
@@ -559,6 +578,8 @@ class ExperimentRunner:
         for label, entry in payload["modes"].items():
             outcome.results[label] = SimResult.from_dict(entry["payload"])
             outcome.cached[label] = entry["cached"]
+            outcome.engines[label] = entry.get("engine")
+            outcome.fallbacks[label] = entry.get("fallback", False)
             if entry["cached"]:
                 _log.debug(
                     "cache hit: %s mode %s",
@@ -588,6 +609,9 @@ class ExperimentRunner:
             1 for cached in outcome.cached.values() if cached
         )
         record.modes_simulated = record.modes_total - record.modes_cached
+        record.engine_fallbacks = sum(
+            1 for fellback in outcome.fallbacks.values() if fellback
+        )
         _log.info(
             "job finished: %s (%.2fs execute, %.2fs queued)",
             record.job_id,

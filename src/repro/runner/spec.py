@@ -85,6 +85,14 @@ class RunnerConfig:
         set.  Observability-only: neither field participates in cache
         identity — result keys fingerprint only (trace, SystemConfig,
         salt), so toggling logs can never churn the cache.
+    engine:
+        Simulation/analysis engine selection (``auto`` / ``vectorized``
+        / ``legacy``; see :class:`~repro.common.engine.EngineSelection`).
+        None resolves the ambient default (``REPRO_ENGINE`` env, then
+        auto).  Execution-strategy only: both engines are bit-identical
+        by contract, so the choice never participates in cache identity
+        or spec keys — flipping it can neither churn nor poison the
+        cache.
     """
 
     scale: Optional[str] = None
@@ -102,6 +110,7 @@ class RunnerConfig:
     resume: bool = False
     log_level: Optional[str] = None
     log_json: bool = False
+    engine: Optional[str] = None
 
     def resolved_jobs(self) -> int:
         """Effective worker count (>= 1)."""
@@ -255,6 +264,9 @@ class JobRecord:
     error: str = ""
     #: Execution attempts consumed (retries included); 0 when skipped.
     attempts: int = 0
+    #: Simulated modes whose vectorized kernel declined the input and
+    #: fell back to the reference interpreter (0 for cached modes).
+    engine_fallbacks: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -271,6 +283,7 @@ class JobRecord:
             "sim_cycles": self.sim_cycles,
             "error": self.error,
             "attempts": self.attempts,
+            "engine_fallbacks": self.engine_fallbacks,
         }
 
 
@@ -323,6 +336,11 @@ class RunnerReport:
         """Simulated cycles summed over every finished job and mode."""
         return sum(job.sim_cycles for job in self.jobs)
 
+    @property
+    def engine_fallbacks(self) -> int:
+        """Simulated modes that fell back to the reference engine."""
+        return sum(job.engine_fallbacks for job in self.jobs)
+
     def to_dict(self) -> dict:
         return {
             "jobs": [job.to_dict() for job in self.jobs],
@@ -339,11 +357,12 @@ class RunnerReport:
             "all_cached": self.all_cached,
             "retries": self.retries,
             "total_sim_cycles": self.total_sim_cycles,
+            "engine_fallbacks": self.engine_fallbacks,
         }
 
     def summary_line(self) -> str:
         """Single-line end-of-run digest (``repro run`` epilogue)."""
-        return (
+        line = (
             f"done: {self.jobs_total} job(s), "
             f"{self.cache_hits} cache hit(s), "
             f"{len(self.failures)} failure(s), "
@@ -351,6 +370,9 @@ class RunnerReport:
             f"{self.total_sim_cycles:.0f} simulated cycles "
             f"in {self.wall_seconds:.1f}s"
         )
+        if self.engine_fallbacks:
+            line += f" [{self.engine_fallbacks} engine fallback(s)]"
+        return line
 
     def summary(self) -> str:
         """One-paragraph text rendering for CLI / benchmark logs."""

@@ -264,6 +264,11 @@ class JobBroker:
             "Wall seconds one job spent executing",
             buckets=EXECUTE_SECONDS_BUCKETS,
         )
+        self._m_engine_fallbacks = reg.counter(
+            "service_engine_fallbacks_total",
+            "Mode simulations where the vectorized kernel declined "
+            "and the reference interpreter ran instead",
+        )
         self._m_prune_runs = reg.counter(
             "service_cache_prune_runs_total",
             "Completed cache-prune sweeps",
@@ -633,6 +638,13 @@ class JobBroker:
             return
         job.execute_seconds = self._clock() - started
         self._m_execute.observe(job.execute_seconds)
+        fallbacks = sum(
+            1
+            for entry in payload["modes"].values()
+            if entry.get("fallback")
+        )
+        if fallbacks:
+            self._m_engine_fallbacks.inc(fallbacks)
         body = {
             "job_id": job.job_id,
             "spec_key": job.job_id,

@@ -1,0 +1,963 @@
+/* Batch simulation time loop for repro.sim.vectorized.
+ *
+ * This is the serial half of the vectorized engine: repro.sim.vectorized
+ * classifies every event with numpy mask algebra (route codes, cache-set
+ * indices, vault/bank columns, FLIT lookup tables) and this translation
+ * of the fused interpreter drains the same smallest-clock-first
+ * scheduler as the Python reference (repro.sim.core + repro.hmc.device).
+ *
+ * BIT-IDENTITY CONTRACT: every double-precision operation here mirrors
+ * the reference implementation's expression order exactly.  CPython
+ * floats are C doubles, so identical operations in identical order give
+ * identical bits — provided the compiler neither contracts multiply-adds
+ * into FMAs nor reassociates.  Build with -ffp-contract=off and WITHOUT
+ * -ffast-math (repro.sim._cbuild owns the flags).  Do not "simplify"
+ * float expressions: a + b + c and a + (b + c) are different bits.
+ *
+ * LRU sets are arrays ordered oldest-first (index 0 evicts next), which
+ * reproduces the reference's OrderedDict semantics; the directory maps
+ * line -> 64-bit core bitmask (sharer iteration order never affects
+ * observable state, so a bitmask replaces the reference's Python set);
+ * FU pools use first-minimum scans exactly like the reference.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* Route codes assigned by the Python precompute phase. */
+#define R_BARRIER 0
+#define R_LOAD_CACHE 1
+#define R_LOAD_BYPASS 2
+#define R_STORE_CACHE 3
+#define R_STORE_BYPASS 4
+#define R_ATOMIC_HOST 5
+#define R_ATOMIC_PIM 6
+#define R_ATOMIC_UPEI 7
+#define R_ATOMIC_HOST_CAND 8
+
+/* Return codes. */
+#define SIM_OK 0
+#define SIM_ERR_BARRIER_MISMATCH 1
+#define SIM_ERR_STUCK_AT_BARRIER 2
+#define SIM_ERR_NOMEM 3
+
+/* ------------------------------------------------------------------ */
+/* Open-addressing hash map: int64 line -> uint64 core bitmask.        */
+/* Also used valueless as the dirty-line set.                          */
+/* ------------------------------------------------------------------ */
+
+#define H_EMPTY (-1)
+#define H_TOMB (-2)
+
+typedef struct {
+    int64_t *keys;
+    uint64_t *vals;
+    size_t cap;   /* power of two */
+    size_t used;  /* live + tombstones */
+    size_t live;
+} hmap;
+
+static size_t h_slot(int64_t key, size_t cap) {
+    uint64_t h = (uint64_t)key * 0x9E3779B97F4A7C15ULL;
+    return (size_t)(h >> 32) & (cap - 1);
+}
+
+static int h_init(hmap *m, size_t cap) {
+    m->cap = cap;
+    m->used = 0;
+    m->live = 0;
+    m->keys = malloc(cap * sizeof(int64_t));
+    m->vals = malloc(cap * sizeof(uint64_t));
+    if (!m->keys || !m->vals) {
+        free(m->keys);
+        free(m->vals);
+        m->keys = NULL;
+        m->vals = NULL;
+        return -1;
+    }
+    for (size_t i = 0; i < cap; i++) m->keys[i] = H_EMPTY;
+    return 0;
+}
+
+static void h_free(hmap *m) {
+    free(m->keys);
+    free(m->vals);
+    m->keys = NULL;
+    m->vals = NULL;
+}
+
+/* Find the slot holding `key`, or (size_t)-1. */
+static size_t h_find(const hmap *m, int64_t key) {
+    size_t i = h_slot(key, m->cap);
+    for (;;) {
+        int64_t k = m->keys[i];
+        if (k == key) return i;
+        if (k == H_EMPTY) return (size_t)-1;
+        i = (i + 1) & (m->cap - 1);
+    }
+}
+
+static int h_grow(hmap *m) {
+    hmap next;
+    if (h_init(&next, m->cap * 2) != 0) return -1;
+    for (size_t i = 0; i < m->cap; i++) {
+        int64_t k = m->keys[i];
+        if (k >= 0) {
+            size_t j = h_slot(k, next.cap);
+            while (next.keys[j] != H_EMPTY) j = (j + 1) & (next.cap - 1);
+            next.keys[j] = k;
+            next.vals[j] = m->vals[i];
+            next.used++;
+            next.live++;
+        }
+    }
+    h_free(m);
+    *m = next;
+    return 0;
+}
+
+/* Slot for inserting/updating `key` (existing slot reused).  Returns
+ * (size_t)-1 on allocation failure.  The caller sets vals[slot]. */
+static size_t h_put_slot(hmap *m, int64_t key) {
+    if ((m->used + 1) * 2 > m->cap) {
+        if (h_grow(m) != 0) return (size_t)-1;
+    }
+    size_t i = h_slot(key, m->cap);
+    size_t tomb = (size_t)-1;
+    for (;;) {
+        int64_t k = m->keys[i];
+        if (k == key) return i;
+        if (k == H_EMPTY) {
+            if (tomb != (size_t)-1) {
+                i = tomb;
+            } else {
+                m->used++;
+            }
+            m->keys[i] = key;
+            m->vals[i] = 0;
+            m->live++;
+            return i;
+        }
+        if (k == H_TOMB && tomb == (size_t)-1) tomb = i;
+        i = (i + 1) & (m->cap - 1);
+    }
+}
+
+static void h_del_slot(hmap *m, size_t slot) {
+    m->keys[slot] = H_TOMB;
+    m->live--;
+}
+
+/* ------------------------------------------------------------------ */
+/* LRU cache sets: per-set line arrays ordered oldest-first.           */
+/* Mirrors _SetAssocCache built on OrderedDict.                        */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    int64_t *lines; /* [num_sets][ways], oldest at index 0 */
+    int32_t *count; /* [num_sets] */
+    int64_t ways;
+} lruset;
+
+static int lru_init(lruset *c, int64_t num_sets, int64_t ways) {
+    c->ways = ways;
+    c->lines = malloc((size_t)num_sets * (size_t)ways * sizeof(int64_t));
+    c->count = calloc((size_t)num_sets, sizeof(int32_t));
+    if (!c->lines || !c->count) {
+        free(c->lines);
+        free(c->count);
+        c->lines = NULL;
+        c->count = NULL;
+        return -1;
+    }
+    return 0;
+}
+
+static void lru_free(lruset *c) {
+    free(c->lines);
+    free(c->count);
+    c->lines = NULL;
+    c->count = NULL;
+}
+
+/* lookup-and-touch: OrderedDict `in` + move_to_end.  1 on hit. */
+static int lru_lookup(lruset *c, int64_t set, int64_t line) {
+    int64_t *s = c->lines + set * c->ways;
+    int32_t n = c->count[set];
+    for (int32_t i = 0; i < n; i++) {
+        if (s[i] == line) {
+            for (int32_t j = i; j < n - 1; j++) s[j] = s[j + 1];
+            s[n - 1] = line;
+            return 1;
+        }
+    }
+    return 0;
+}
+
+/* insert with LRU eviction; returns the victim line or -1. */
+static int64_t lru_insert(lruset *c, int64_t set, int64_t line) {
+    int64_t *s = c->lines + set * c->ways;
+    int32_t n = c->count[set];
+    for (int32_t i = 0; i < n; i++) {
+        if (s[i] == line) {
+            for (int32_t j = i; j < n - 1; j++) s[j] = s[j + 1];
+            s[n - 1] = line;
+            return -1;
+        }
+    }
+    if (n >= c->ways) {
+        int64_t victim = s[0];
+        for (int32_t j = 0; j < n - 1; j++) s[j] = s[j + 1];
+        s[n - 1] = line;
+        return victim;
+    }
+    s[n] = line;
+    c->count[set] = n + 1;
+    return -1;
+}
+
+/* drop a line if present (no return value needed by callers). */
+static void lru_invalidate(lruset *c, int64_t set, int64_t line) {
+    int64_t *s = c->lines + set * c->ways;
+    int32_t n = c->count[set];
+    for (int32_t i = 0; i < n; i++) {
+        if (s[i] == line) {
+            for (int32_t j = i; j < n - 1; j++) s[j] = s[j + 1];
+            c->count[set] = n - 1;
+            return;
+        }
+    }
+}
+
+static int lru_contains(const lruset *c, int64_t set, int64_t line) {
+    const int64_t *s = c->lines + set * c->ways;
+    int32_t n = c->count[set];
+    for (int32_t i = 0; i < n; i++) {
+        if (s[i] == line) return 1;
+    }
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* Scheduler heap of (t, core) with Python tuple ordering.             */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    double *t;
+    int64_t *c;
+    int64_t n;
+} sched;
+
+static int sched_less(const sched *h, int64_t a, int64_t b) {
+    if (h->t[a] < h->t[b]) return 1;
+    if (h->t[a] > h->t[b]) return 0;
+    return h->c[a] < h->c[b];
+}
+
+static void sched_push(sched *h, double t, int64_t c) {
+    int64_t i = h->n++;
+    h->t[i] = t;
+    h->c[i] = c;
+    while (i > 0) {
+        int64_t parent = (i - 1) / 2;
+        if (!sched_less(h, i, parent)) break;
+        double tt = h->t[i]; h->t[i] = h->t[parent]; h->t[parent] = tt;
+        int64_t tc = h->c[i]; h->c[i] = h->c[parent]; h->c[parent] = tc;
+        i = parent;
+    }
+}
+
+static void sched_pop(sched *h, double *t, int64_t *c) {
+    *t = h->t[0];
+    *c = h->c[0];
+    h->n--;
+    if (h->n == 0) return;
+    h->t[0] = h->t[h->n];
+    h->c[0] = h->c[h->n];
+    int64_t i = 0;
+    for (;;) {
+        int64_t l = 2 * i + 1, r = 2 * i + 2, m = i;
+        if (l < h->n && sched_less(h, l, m)) m = l;
+        if (r < h->n && sched_less(h, r, m)) m = r;
+        if (m == i) break;
+        double tt = h->t[i]; h->t[i] = h->t[m]; h->t[m] = tt;
+        int64_t tc = h->c[i]; h->c[i] = h->c[m]; h->c[m] = tc;
+        i = m;
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Simulation state shared by the resource helpers.                    */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    /* geometry */
+    int64_t T, mlp, n1sets, n2sets, n3sets;
+    int64_t num_vaults, banks_per_vault, fus_per_vault, fp_pool, prefetch;
+    /* timing constants (exact doubles handed over from Python) */
+    double lat1, lat12, lat123, coh_pen, freeze, fp_extra, upei_op;
+    double uc_posted, offload_issue, link_lat, vault_oh, tRCD, tCL, burst;
+    double fu_op, fp_fu_op, occ_read, occ_write, occ_at_int, occ_at_fp;
+    double rate, c1, c2, c5;
+    /* cache state */
+    lruset *l1; /* [T] */
+    lruset *l2; /* [T] */
+    lruset l3;
+    hmap dir, dirty;
+    int64_t l1_hits, l1_misses, l2_hits, l2_misses, l3_hits, l3_misses;
+    int64_t invalidations, writebacks, prefetches;
+    /* HMC state */
+    double *bank_free; /* [num_vaults][banks_per_vault] */
+    double *fu;        /* [num_vaults][fus_per_vault] */
+    double *fp;        /* [num_vaults][fp_pool] */
+    double req_backlog, req_anchor, req_wait;
+    double resp_backlog, resp_anchor, resp_wait;
+    double bank_wait;
+    int64_t activates, dreads, dwrites, fu_int, fu_fp;
+    int64_t req_counts[6], reqf_counts[6], respf_counts[6];
+    int64_t tk_order[6], tk_len;
+    /* writeback lines produced by the current full-miss access */
+    int64_t wb[2];
+    int wb_n;
+} simstate;
+
+/* READ_64; mirrors HmcDevice._read_once term for term. */
+static double hmc_read(simstate *S, int64_t v, int64_t bk, double t) {
+    if (S->req_counts[0] == 0) S->tk_order[S->tk_len++] = 0;
+    S->req_counts[0] += 1;
+    S->reqf_counts[0] += 1;
+    S->respf_counts[0] += 5;
+    if (t > S->req_anchor) {
+        double b = S->req_backlog - (t - S->req_anchor) * S->rate;
+        S->req_backlog = b > 0.0 ? b : 0.0;
+        S->req_anchor = t;
+    }
+    double w = S->req_backlog / S->rate;
+    S->req_wait += w;
+    S->req_backlog += 1;
+    double t_vault = t + w + S->c1 + S->link_lat + S->vault_oh;
+    double *row = S->bank_free + v * S->banks_per_vault;
+    double bf = row[bk];
+    double start = t_vault > bf ? t_vault : bf;
+    S->bank_wait += start - t_vault;
+    row[bk] = start + S->occ_read;
+    double data_ready = start + S->tRCD + S->tCL + S->burst;
+    S->activates += 1;
+    S->dreads += 1;
+    double tr = data_ready + S->vault_oh;
+    if (tr > S->resp_anchor) {
+        double b = S->resp_backlog - (tr - S->resp_anchor) * S->rate;
+        S->resp_backlog = b > 0.0 ? b : 0.0;
+        S->resp_anchor = tr;
+    }
+    w = S->resp_backlog / S->rate;
+    S->resp_wait += w;
+    S->resp_backlog += 5;
+    return tr + w + S->c5 + S->link_lat;
+}
+
+/* WRITE_64 (posted); mirrors HmcDevice.write. */
+static void hmc_write(simstate *S, int64_t v, int64_t bk, double t) {
+    if (S->req_counts[1] == 0) S->tk_order[S->tk_len++] = 1;
+    S->req_counts[1] += 1;
+    S->reqf_counts[1] += 5;
+    S->respf_counts[1] += 1;
+    if (t > S->req_anchor) {
+        double b = S->req_backlog - (t - S->req_anchor) * S->rate;
+        S->req_backlog = b > 0.0 ? b : 0.0;
+        S->req_anchor = t;
+    }
+    double w = S->req_backlog / S->rate;
+    S->req_wait += w;
+    S->req_backlog += 5;
+    double t_vault = t + w + S->c5 + S->link_lat + S->vault_oh;
+    double *row = S->bank_free + v * S->banks_per_vault;
+    double bf = row[bk];
+    double start = t_vault > bf ? t_vault : bf;
+    S->bank_wait += start - t_vault;
+    row[bk] = start + S->occ_write;
+    double done = start + S->occ_write;
+    S->activates += 1;
+    S->dwrites += 1;
+    double tr = done + S->vault_oh;
+    if (tr > S->resp_anchor) {
+        double b = S->resp_backlog - (tr - S->resp_anchor) * S->rate;
+        S->resp_backlog = b > 0.0 ? b : 0.0;
+        S->resp_anchor = tr;
+    }
+    w = S->resp_backlog / S->rate;
+    S->resp_wait += w;
+    S->resp_backlog += 1;
+}
+
+/* PIM-Atomic; mirrors HmcDevice._pim_atomic_once. */
+static double pim_atomic(simstate *S, int64_t k, int64_t rf, int64_t isfp,
+                         int64_t v, int64_t bk, double t) {
+    if (S->req_counts[k] == 0) S->tk_order[S->tk_len++] = k;
+    S->req_counts[k] += 1;
+    S->reqf_counts[k] += 2;
+    S->respf_counts[k] += rf;
+    if (t > S->req_anchor) {
+        double b = S->req_backlog - (t - S->req_anchor) * S->rate;
+        S->req_backlog = b > 0.0 ? b : 0.0;
+        S->req_anchor = t;
+    }
+    double w = S->req_backlog / S->rate;
+    S->req_wait += w;
+    S->req_backlog += 2;
+    double t_vault = t + w + S->c2 + S->link_lat + S->vault_oh;
+    double *row = S->bank_free + v * S->banks_per_vault;
+    double bf = row[bk];
+    double start = t_vault > bf ? t_vault : bf;
+    S->bank_wait += start - t_vault;
+    double data_at_fu = start + S->tRCD + S->tCL;
+    double *pool;
+    int64_t pool_n;
+    double fut;
+    if (isfp) {
+        row[bk] = start + S->occ_at_fp;
+        pool = S->fp + v * S->fp_pool;
+        pool_n = S->fp_pool;
+        fut = S->fp_fu_op;
+        S->fu_fp += 1;
+    } else {
+        row[bk] = start + S->occ_at_int;
+        pool = S->fu + v * S->fus_per_vault;
+        pool_n = S->fus_per_vault;
+        fut = S->fu_op;
+        S->fu_int += 1;
+    }
+    /* first-minimum scan, like the reference's _reserve_fu */
+    int64_t mi = 0;
+    for (int64_t i = 1; i < pool_n; i++) {
+        if (pool[i] < pool[mi]) mi = i;
+    }
+    double m = pool[mi];
+    double fu_start = data_at_fu > m ? data_at_fu : m;
+    pool[mi] = fu_start + fut;
+    double result_ready = fu_start + fut;
+    S->activates += 1;
+    S->dreads += 1;
+    S->dwrites += 1;
+    double tr = result_ready + S->vault_oh;
+    if (tr > S->resp_anchor) {
+        double b = S->resp_backlog - (tr - S->resp_anchor) * S->rate;
+        S->resp_backlog = b > 0.0 ? b : 0.0;
+        S->resp_anchor = tr;
+    }
+    w = S->resp_backlog / S->rate;
+    S->resp_wait += w;
+    S->resp_backlog += rf;
+    return tr + w + (rf == 1 ? S->c1 : S->c2) + S->link_lat;
+}
+
+/* ------------------------------------------------------------------ */
+/* Cache hierarchy; mirrors CacheHierarchy and the directory logic.    */
+/* ------------------------------------------------------------------ */
+
+static void drop_private(simstate *S, int64_t core, int64_t ln) {
+    if (lru_contains(&S->l1[core], ln % S->n1sets, ln)) return;
+    if (lru_contains(&S->l2[core], ln % S->n2sets, ln)) return;
+    size_t slot = h_find(&S->dir, ln);
+    if (slot != (size_t)-1) {
+        uint64_t mask = S->dir.vals[slot] & ~(1ULL << core);
+        if (mask == 0) {
+            h_del_slot(&S->dir, slot);
+        } else {
+            S->dir.vals[slot] = mask;
+        }
+    }
+}
+
+static void fill_l3(simstate *S, int64_t ln, int64_t s3) {
+    int64_t victim = lru_insert(&S->l3, s3, ln);
+    if (victim < 0) return;
+    size_t slot = h_find(&S->dir, victim);
+    if (slot != (size_t)-1) {
+        uint64_t mask = S->dir.vals[slot];
+        h_del_slot(&S->dir, slot);
+        while (mask) {
+            int owner = __builtin_ctzll(mask);
+            mask &= mask - 1;
+            lru_invalidate(&S->l1[owner], victim % S->n1sets, victim);
+            lru_invalidate(&S->l2[owner], victim % S->n2sets, victim);
+            S->invalidations += 1;
+        }
+    }
+    slot = h_find(&S->dirty, victim);
+    if (slot != (size_t)-1) {
+        h_del_slot(&S->dirty, slot);
+        S->writebacks += 1;
+        S->wb[S->wb_n++] = victim;
+    }
+}
+
+static void fill_l2(simstate *S, int64_t core, int64_t ln, int64_t s2) {
+    int64_t victim = lru_insert(&S->l2[core], s2, ln);
+    if (victim < 0) return;
+    lru_invalidate(&S->l1[core], victim % S->n1sets, victim);
+    drop_private(S, core, victim);
+}
+
+static void fill_l1(simstate *S, int64_t core, int64_t ln, int64_t s1) {
+    int64_t victim = lru_insert(&S->l1[core], s1, ln);
+    if (victim < 0) return;
+    drop_private(S, core, victim);
+}
+
+/* CacheHierarchy.access inlined; returns hit level (0 = full miss),
+ * -1 on allocation failure.  Writeback lines land in S->wb[0..wb_n). */
+static int access_cache(simstate *S, int64_t core, int64_t ln,
+                        int64_t s1, int64_t s2, int64_t s3,
+                        int is_write, double *latency_out, int *coh_out) {
+    int level;
+    double latency;
+    if (lru_lookup(&S->l1[core], s1, ln)) {
+        S->l1_hits += 1;
+        level = 1;
+        latency = S->lat1;
+    } else {
+        S->l1_misses += 1;
+        if (lru_lookup(&S->l2[core], s2, ln)) {
+            S->l2_hits += 1;
+            level = 2;
+            latency = S->lat12;
+            fill_l1(S, core, ln, s1);
+        } else {
+            S->l2_misses += 1;
+            latency = S->lat123;
+            if (lru_lookup(&S->l3, s3, ln)) {
+                S->l3_hits += 1;
+                level = 3;
+            } else {
+                S->l3_misses += 1;
+                level = 0;
+                S->wb_n = 0;
+                fill_l3(S, ln, s3);
+                if (S->prefetch &&
+                    !lru_contains(&S->l3, (ln + 1) % S->n3sets, ln + 1)) {
+                    fill_l3(S, ln + 1, (ln + 1) % S->n3sets);
+                    S->prefetches += 1;
+                }
+            }
+            fill_l2(S, core, ln, s2);
+            fill_l1(S, core, ln, s1);
+            size_t slot = h_put_slot(&S->dir, ln);
+            if (slot == (size_t)-1) return -1;
+            S->dir.vals[slot] |= 1ULL << core;
+        }
+    }
+    int coh = 0;
+    if (is_write) {
+        size_t slot = h_find(&S->dir, ln);
+        if (slot != (size_t)-1) {
+            uint64_t mask = S->dir.vals[slot];
+            uint64_t others = mask & ~(1ULL << core);
+            uint64_t rest = others;
+            while (rest) {
+                int other = __builtin_ctzll(rest);
+                rest &= rest - 1;
+                lru_invalidate(&S->l1[other], s1, ln);
+                lru_invalidate(&S->l2[other], s2, ln);
+                S->invalidations += 1;
+            }
+            S->dir.vals[slot] = mask & ~others;
+            coh = others != 0;
+        }
+        size_t dslot = h_put_slot(&S->dirty, ln);
+        if (dslot == (size_t)-1) return -1;
+    }
+    if (level == 1 || level == 2) {
+        size_t slot = h_put_slot(&S->dir, ln);
+        if (slot == (size_t)-1) return -1;
+        S->dir.vals[slot] |= 1ULL << core;
+    }
+    *latency_out = latency;
+    *coh_out = coh;
+    return level;
+}
+
+/* Bounded-MLP window push; argument evaluated from the pre-stall clock
+ * by the caller, exactly like Core._window_push. Returns the new t. */
+static double win_push(double *win_c, int64_t *wn_p, int64_t mlp,
+                       double completion, double t, double *stall_c) {
+    int64_t n = *wn_p;
+    if (n >= mlp) {
+        int64_t mi = 0;
+        for (int64_t i = 1; i < n; i++) {
+            if (win_c[i] < win_c[mi]) mi = i;
+        }
+        double earliest = win_c[mi];
+        win_c[mi] = win_c[n - 1];
+        n--;
+        if (earliest > t) {
+            *stall_c = *stall_c + (earliest - t);
+            t = earliest;
+        }
+    }
+    win_c[n] = completion;
+    *wn_p = n + 1;
+    return t;
+}
+
+/* ------------------------------------------------------------------ */
+/* Entry point.                                                        */
+/* ------------------------------------------------------------------ */
+
+int graphpim_simulate(
+    int64_t n_events, int64_t T,
+    const int64_t *route, const int64_t *line,
+    const int64_t *s1a, const int64_t *s2a, const int64_t *s3a,
+    const int64_t *vaulta, const int64_t *banka,
+    const int64_t *tka, const int64_t *respfa, const int64_t *isfpa,
+    const int64_t *bida, const int64_t *ninstra,
+    const double *issuea,
+    const int64_t *starts,
+    const int64_t *cfg_i, const double *cfg_d,
+    double *core_d, int64_t *core_i,
+    int64_t *out_i, double *out_d, int64_t *tkbuf) {
+    (void)n_events;
+    simstate S;
+    memset(&S, 0, sizeof S);
+    S.T = T;
+    S.mlp = cfg_i[0];
+    int64_t l1_ways = cfg_i[1], l2_ways = cfg_i[2], l3_ways = cfg_i[3];
+    S.n1sets = cfg_i[4];
+    S.n2sets = cfg_i[5];
+    S.n3sets = cfg_i[6];
+    S.num_vaults = cfg_i[7];
+    S.banks_per_vault = cfg_i[8];
+    S.fus_per_vault = cfg_i[9];
+    S.fp_pool = cfg_i[10];
+    S.prefetch = cfg_i[11];
+    S.lat1 = cfg_d[0];
+    S.lat12 = cfg_d[1];
+    S.lat123 = cfg_d[2];
+    S.coh_pen = cfg_d[3];
+    S.freeze = cfg_d[4];
+    S.fp_extra = cfg_d[5];
+    S.upei_op = cfg_d[6];
+    S.uc_posted = cfg_d[7];
+    S.offload_issue = cfg_d[8];
+    S.link_lat = cfg_d[9];
+    S.vault_oh = cfg_d[10];
+    S.tRCD = cfg_d[11];
+    S.tCL = cfg_d[12];
+    S.burst = cfg_d[13];
+    S.fu_op = cfg_d[14];
+    S.fp_fu_op = cfg_d[15];
+    S.occ_read = cfg_d[16];
+    S.occ_write = cfg_d[17];
+    S.occ_at_int = cfg_d[18];
+    S.occ_at_fp = cfg_d[19];
+    S.rate = cfg_d[20];
+    S.c1 = cfg_d[21];
+    S.c2 = cfg_d[22];
+    S.c5 = cfg_d[23];
+
+    int rc = SIM_ERR_NOMEM;
+    sched heap = {NULL, NULL, 0};
+    double *win = NULL;
+    int64_t *wn = NULL, *pos = NULL, *at_barrier = NULL;
+
+    S.l1 = calloc((size_t)T, sizeof(lruset));
+    S.l2 = calloc((size_t)T, sizeof(lruset));
+    if (!S.l1 || !S.l2) goto done;
+    for (int64_t i = 0; i < T; i++) {
+        if (lru_init(&S.l1[i], S.n1sets, l1_ways) != 0) goto done;
+        if (lru_init(&S.l2[i], S.n2sets, l2_ways) != 0) goto done;
+    }
+    if (lru_init(&S.l3, S.n3sets, l3_ways) != 0) goto done;
+    if (h_init(&S.dir, 1024) != 0) goto done;
+    if (h_init(&S.dirty, 1024) != 0) goto done;
+    S.bank_free =
+        calloc((size_t)(S.num_vaults * S.banks_per_vault), sizeof(double));
+    S.fu = calloc((size_t)(S.num_vaults * S.fus_per_vault), sizeof(double));
+    S.fp = calloc((size_t)(S.num_vaults * S.fp_pool), sizeof(double));
+    heap.t = malloc((size_t)T * sizeof(double));
+    heap.c = malloc((size_t)T * sizeof(int64_t));
+    win = malloc((size_t)(T * S.mlp) * sizeof(double));
+    wn = calloc((size_t)T, sizeof(int64_t));
+    pos = malloc((size_t)T * sizeof(int64_t));
+    at_barrier = malloc((size_t)T * sizeof(int64_t));
+    if (!S.bank_free || !S.fu || !S.fp || !heap.t || !heap.c || !win ||
+        !wn || !pos || !at_barrier)
+        goto done;
+
+    double *t_core = core_d;
+    double *issue_acc = core_d + T;
+    double *stall_acc = core_d + 2 * T;
+    double *incore_acc = core_d + 3 * T;
+    double *incache_acc = core_d + 4 * T;
+    int64_t *instr_acc = core_i;
+    int64_t *host_acc = core_i + T;
+    int64_t *offl_acc = core_i + 2 * T;
+    int64_t *upei_acc = core_i + 3 * T;
+    int64_t *cand_tot = core_i + 4 * T;
+    int64_t *cand_miss = core_i + 5 * T;
+    int64_t *cand_l1 = core_i + 6 * T;
+    int64_t *cand_l2 = core_i + 7 * T;
+    int64_t *cand_l3 = core_i + 8 * T;
+
+    for (int64_t i = 0; i < T; i++) {
+        pos[i] = starts[i];
+        heap.t[i] = 0.0;
+        heap.c[i] = i;
+    }
+    heap.n = T; /* (0.0, 0..T-1) is already a valid min-heap */
+
+    int64_t n_at = 0, done_count = 0, barrier_id = 0;
+    int has_barrier = 0;
+
+    while (heap.n) {
+        double popped_t;
+        int64_t cid;
+        sched_pop(&heap, &popped_t, &cid);
+        (void)popped_t;
+        int64_t p = pos[cid];
+        if (p >= starts[cid + 1]) {
+            done_count += 1;
+            continue;
+        }
+        pos[cid] = p + 1;
+        int64_t r = route[p];
+        double t = t_core[cid];
+        double iss = issuea[p];
+        instr_acc[cid] += ninstra[p];
+        t = t + iss;
+        issue_acc[cid] = issue_acc[cid] + iss;
+
+        if (r == R_BARRIER) {
+            int64_t bid = bida[p];
+            if (!has_barrier) {
+                has_barrier = 1;
+                barrier_id = bid;
+            } else if (bid != barrier_id) {
+                out_i[14] = cid;
+                out_i[15] = bid;
+                out_i[16] = barrier_id;
+                rc = SIM_ERR_BARRIER_MISMATCH;
+                goto done;
+            }
+            t_core[cid] = t;
+            at_barrier[n_at++] = cid;
+            if (n_at + done_count == T) {
+                double release = t_core[at_barrier[0]];
+                for (int64_t i = 0; i < n_at; i++) {
+                    double tc = t_core[at_barrier[i]];
+                    if (tc > release) release = tc;
+                }
+                for (int64_t i = 0; i < n_at; i++) {
+                    int64_t c = at_barrier[i];
+                    stall_acc[c] = stall_acc[c] + (release - t_core[c]);
+                    t_core[c] = release;
+                    sched_push(&heap, release, c);
+                }
+                n_at = 0;
+                has_barrier = 0;
+            }
+            continue;
+        }
+
+        if (r == R_LOAD_CACHE) {
+            double latency;
+            int coh;
+            int level = access_cache(&S, cid, line[p], s1a[p], s2a[p],
+                                     s3a[p], 0, &latency, &coh);
+            if (level < 0) goto done;
+            if (level == 0) {
+                double t_mem = t + latency;
+                double completion =
+                    hmc_read(&S, vaulta[p], banka[p], t_mem);
+                for (int i = 0; i < S.wb_n; i++) {
+                    int64_t v = S.wb[i];
+                    hmc_write(&S, v % S.num_vaults,
+                              (v >> 5) % S.banks_per_vault, t_mem);
+                }
+                t = win_push(win + cid * S.mlp, &wn[cid], S.mlp,
+                             completion, t, &stall_acc[cid]);
+            } else if (level >= 2) {
+                /* completion computed from the pre-stall clock, like
+                 * _window_push's argument evaluation */
+                double completion = t + latency;
+                t = win_push(win + cid * S.mlp, &wn[cid], S.mlp,
+                             completion, t, &stall_acc[cid]);
+            }
+        } else if (r == R_STORE_CACHE) {
+            double latency;
+            int coh;
+            int level = access_cache(&S, cid, line[p], s1a[p], s2a[p],
+                                     s3a[p], 1, &latency, &coh);
+            if (level < 0) goto done;
+            if (level == 0) {
+                double t_mem = t + latency;
+                double completion =
+                    hmc_read(&S, vaulta[p], banka[p], t_mem);
+                for (int i = 0; i < S.wb_n; i++) {
+                    int64_t v = S.wb[i];
+                    hmc_write(&S, v % S.num_vaults,
+                              (v >> 5) % S.banks_per_vault, t_mem);
+                }
+                t = win_push(win + cid * S.mlp, &wn[cid], S.mlp,
+                             completion, t, &stall_acc[cid]);
+            }
+        } else if (r == R_LOAD_BYPASS) {
+            double completion = hmc_read(&S, vaulta[p], banka[p], t);
+            t = win_push(win + cid * S.mlp, &wn[cid], S.mlp, completion,
+                         t, &stall_acc[cid]);
+        } else if (r == R_STORE_BYPASS) {
+            hmc_write(&S, vaulta[p], banka[p], t);
+            t = t + S.uc_posted;
+            stall_acc[cid] += S.uc_posted;
+        } else if (r == R_ATOMIC_PIM) {
+            double completion = pim_atomic(&S, tka[p], respfa[p], isfpa[p],
+                                           vaulta[p], banka[p], t);
+            offl_acc[cid] += 1;
+            if (completion > t) {
+                stall_acc[cid] += completion - t;
+                t = completion;
+            }
+            t = t + S.offload_issue;
+            stall_acc[cid] += S.offload_issue;
+        } else if (r == R_ATOMIC_UPEI) {
+            int64_t ln = line[p], ss1 = s1a[p], ss2 = s2a[p], ss3 = s3a[p];
+            int probe = lru_contains(&S.l1[cid], ss1, ln) ||
+                        lru_contains(&S.l2[cid], ss2, ln) ||
+                        lru_contains(&S.l3, ss3, ln);
+            double latency;
+            int coh;
+            if (probe) {
+                int level = access_cache(&S, cid, ln, ss1, ss2, ss3, 1,
+                                         &latency, &coh);
+                if (level < 0) goto done;
+                t = t + (latency + S.upei_op);
+                upei_acc[cid] += 1;
+                incache_acc[cid] += latency + S.upei_op;
+            } else {
+                t = t + S.lat123; /* walk latency */
+                incache_acc[cid] += S.lat123;
+                double completion = pim_atomic(&S, tka[p], respfa[p],
+                                               isfpa[p], vaulta[p],
+                                               banka[p], t);
+                /* line installed alongside the offload; writebacks are
+                 * discarded under the idealization */
+                int level = access_cache(&S, cid, ln, ss1, ss2, ss3, 1,
+                                         &latency, &coh);
+                if (level < 0) goto done;
+                offl_acc[cid] += 1;
+                if (completion > t) {
+                    stall_acc[cid] += completion - t;
+                    t = completion;
+                }
+                t = t + S.offload_issue;
+                stall_acc[cid] += S.offload_issue;
+            }
+        } else { /* R_ATOMIC_HOST / R_ATOMIC_HOST_CAND */
+            double *win_c = win + cid * S.mlp;
+            int64_t n = wn[cid];
+            double drain_wait;
+            if (n) {
+                double latest = t;
+                for (int64_t i = 0; i < n; i++) {
+                    if (win_c[i] > latest) latest = win_c[i];
+                }
+                drain_wait = latest - t;
+                t = latest;
+                wn[cid] = 0;
+            } else {
+                drain_wait = 0.0;
+            }
+            double latency;
+            int coh;
+            int level = access_cache(&S, cid, line[p], s1a[p], s2a[p],
+                                     s3a[p], 1, &latency, &coh);
+            if (level < 0) goto done;
+            if (r == R_ATOMIC_HOST_CAND) {
+                cand_tot[cid] += 1;
+                if (level == 0) cand_miss[cid] += 1;
+                else if (level == 1) cand_l1[cid] += 1;
+                else if (level == 2) cand_l2[cid] += 1;
+                else cand_l3[cid] += 1;
+            }
+            double mem_latency = 0.0;
+            if (level == 0) {
+                double t_mem = t + latency;
+                double completion =
+                    hmc_read(&S, vaulta[p], banka[p], t_mem);
+                for (int i = 0; i < S.wb_n; i++) {
+                    int64_t v = S.wb[i];
+                    hmc_write(&S, v % S.num_vaults,
+                              (v >> 5) % S.banks_per_vault, t_mem);
+                }
+                mem_latency = completion - t_mem;
+            }
+            double coherence = coh ? S.coh_pen : 0.0;
+            double fpx = isfpa[p] ? S.fp_extra : 0.0;
+            incore_acc[cid] +=
+                drain_wait + S.freeze + mem_latency + fpx;
+            incache_acc[cid] += latency + coherence;
+            t = t + (S.freeze + mem_latency + fpx + latency + coherence);
+            host_acc[cid] += 1;
+        }
+
+        t_core[cid] = t;
+        sched_push(&heap, t, cid);
+    }
+
+    if (n_at) {
+        out_i[15] = barrier_id;
+        out_i[17] = n_at;
+        rc = SIM_ERR_STUCK_AT_BARRIER;
+        goto done;
+    }
+    rc = SIM_OK;
+
+    out_i[0] = S.l1_hits;
+    out_i[1] = S.l1_misses;
+    out_i[2] = S.l2_hits;
+    out_i[3] = S.l2_misses;
+    out_i[4] = S.l3_hits;
+    out_i[5] = S.l3_misses;
+    out_i[6] = S.invalidations;
+    out_i[7] = S.writebacks;
+    out_i[8] = S.prefetches;
+    out_i[9] = S.activates;
+    out_i[10] = S.dreads;
+    out_i[11] = S.dwrites;
+    out_i[12] = S.fu_int;
+    out_i[13] = S.fu_fp;
+    out_d[0] = S.bank_wait;
+    out_d[1] = S.req_wait;
+    out_d[2] = S.resp_wait;
+    for (int i = 0; i < 6; i++) {
+        tkbuf[i] = S.req_counts[i];
+        tkbuf[6 + i] = S.reqf_counts[i];
+        tkbuf[12 + i] = S.respf_counts[i];
+        tkbuf[18 + i] = S.tk_order[i];
+    }
+    tkbuf[24] = S.tk_len;
+
+done:
+    if (S.l1) {
+        for (int64_t i = 0; i < T; i++) lru_free(&S.l1[i]);
+        free(S.l1);
+    }
+    if (S.l2) {
+        for (int64_t i = 0; i < T; i++) lru_free(&S.l2[i]);
+        free(S.l2);
+    }
+    lru_free(&S.l3);
+    h_free(&S.dir);
+    h_free(&S.dirty);
+    free(S.bank_free);
+    free(S.fu);
+    free(S.fp);
+    free(heap.t);
+    free(heap.c);
+    free(win);
+    free(wn);
+    free(pos);
+    free(at_barrier);
+    return rc;
+}

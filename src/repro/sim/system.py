@@ -11,6 +11,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+from repro.common.engine import EngineInfo, EngineSelection, resolve_engine
 from repro.common.errors import SimulationError
 from repro.dram.device import DdrDevice, DdrStats
 from repro.dram.memory_system import MemorySystem
@@ -247,7 +248,7 @@ class SimResult:
 
 
 def simulate(
-    trace: Trace, config: SystemConfig, recorder=None
+    trace: Trace, config: SystemConfig, recorder=None, engine=None
 ) -> SimResult:
     """Replay ``trace`` under ``config`` and return aggregate results.
 
@@ -256,7 +257,35 @@ def simulate(
     (equivalent to the :data:`~repro.obs.timeline.NULL_RECORDER`) adds
     no per-event work and is bit-identical to a recorded run — the
     recorder only *observes* reservation decisions, never makes them.
+
+    ``engine`` picks the implementation
+    (:class:`~repro.common.engine.EngineSelection` or its string form);
+    the default resolves via ``REPRO_ENGINE`` and falls back to
+    ``auto``.  Results are bit-identical across engines, so callers
+    that don't care which one ran can ignore the parameter entirely;
+    those that do care use :func:`simulate_with_engine`.
     """
+    result, _info = simulate_with_engine(
+        trace, config, recorder=recorder, engine=engine
+    )
+    return result
+
+
+def simulate_with_engine(
+    trace: Trace, config: SystemConfig, recorder=None, engine=None
+) -> tuple[SimResult, EngineInfo]:
+    """Like :func:`simulate`, but also report which engine executed.
+
+    Under ``auto``/``vectorized`` selection the batch kernel
+    (:mod:`repro.sim.vectorized`) runs whenever it can model the input;
+    inputs it declines (fault plans, hybrid DDR, timeline recording,
+    non-columnar traces) fall back *per input* to the per-event
+    reference interpreter, reported as
+    ``EngineInfo(engine="legacy", fallback=True, reason=...)``.
+    """
+    from repro.sim.vectorized import try_simulate_vectorized
+
+    selection = resolve_engine(engine)
     num_threads = trace.num_threads
     if num_threads > config.num_cores:
         raise SimulationError(
@@ -264,6 +293,25 @@ def simulate(
             f"{config.num_cores} cores"
         )
     rec = recorder if recorder is not None and recorder.enabled else None
+    if selection.wants_vectorized:
+        result, reason = try_simulate_vectorized(trace, config, rec)
+        if result is not None:
+            return result, EngineInfo(engine="vectorized")
+        return (
+            _simulate_reference(trace, config, rec),
+            EngineInfo(engine="legacy", fallback=True, reason=reason),
+        )
+    return (
+        _simulate_reference(trace, config, rec),
+        EngineInfo(engine=str(EngineSelection.LEGACY)),
+    )
+
+
+def _simulate_reference(
+    trace: Trace, config: SystemConfig, rec
+) -> SimResult:
+    """The per-event reference interpreter (the bit-identity oracle)."""
+    num_threads = trace.num_threads
     if rec is not None:
         # All component clocks are host-core cycles; export converts to
         # simulated nanoseconds at the configured core frequency.

@@ -1,0 +1,514 @@
+"""Vectorized batch simulation kernel over the columnar trace IR.
+
+The per-event reference interpreter (:mod:`repro.sim.core` +
+:mod:`repro.hmc.device`) walks one tuple at a time through a deep call
+stack: ``Core.step`` -> route decision -> ``CacheHierarchy.access`` ->
+``MemorySystem`` -> ``HmcDevice`` -> per-resource reservation helpers,
+with enum/dict lookups, ``Counter`` updates, and numpy scalar indexing
+on every event.  This module replaces that with a two-phase kernel over
+:class:`~repro.trace.columnar.ColumnarTrace` arrays:
+
+1. **Vectorized precompute** (numpy mask algebra): per-event route
+   codes (PMR membership, atomic-offload classification, cache-vs-
+   bypass), issue deltas, cache-set indices, per-vault/bank columns,
+   and per-atomic transaction lookup tables — everything that does not
+   depend on simulated time is computed for all events at once.
+2. **Fused interpretation**: one flat loop drains the same
+   smallest-clock-first scheduler as the reference over the precomputed
+   columns.  The loop itself is lowered to C (``_kernel.c``, compiled on
+   demand by :mod:`repro.sim._cbuild`): LRU sets become oldest-first
+   arrays, the sharer directory becomes a line -> core-bitmask hash map,
+   link/bank/FU reservations become flat double arrays, and transaction
+   ``Counter``\\ s become index-addressed arrays rebuilt in first-seen
+   order at the end.  CPython floats *are* C doubles, so replaying the
+   reference's operations in the reference's order — with FMA
+   contraction disabled — reproduces its results bit for bit.
+
+**Bit-identity contract.**  The kernel reproduces the reference's
+``SimResult.to_dict()`` byte for byte.  That constrains every floating
+point operation: additions stay term-by-term in the reference's
+left-associated order, constant sub-sums are precomputed only where the
+reference also evaluates them as one expression (bank occupancies), and
+``max``/tie semantics, Counter insertion order, and per-core
+accumulation order are all replicated.  The FU pools may use heaps
+because only the pool *minimum* is observable (the reference picks the
+first minimal index; the pool multiset and its minimum evolve
+identically either way).
+
+**Fallback.**  :func:`try_simulate_vectorized` returns
+``(None, reason)`` instead of a result when the input uses a feature
+the kernel does not model — fault injection, hybrid DDR memory,
+timeline recording, an unencodable trace — or when no C compiler is
+available to build the loop, and the engine dispatcher
+(:func:`repro.sim.system.simulate_with_engine`) runs the reference
+instead.  The reference interpreter is unchanged and remains the
+oracle.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from typing import Optional
+
+import numpy as np
+
+from repro.common.errors import SimulationError, TraceError
+from repro.hmc.commands import HOST_TO_HMC
+from repro.hmc.device import HmcStats
+from repro.hmc.packets import (
+    TransactionKind,
+    atomic_transaction_kind,
+    flits_for,
+)
+from repro.memlayout.regions import REGION_SHIFT, Region
+from repro.sim._cbuild import load_kernel
+from repro.sim.cache import CacheHierarchy, CacheLevelStats
+from repro.sim.config import Mode, SystemConfig
+from repro.sim.core import CoreStats
+from repro.trace.events import (
+    EV_ATOMIC,
+    EV_BARRIER,
+    EV_LOAD,
+    AtomicOp,
+)
+from repro.trace.stream import Trace
+
+#: Per-event route codes assigned by the precompute phase.
+_R_BARRIER = 0
+_R_LOAD_CACHE = 1
+_R_LOAD_BYPASS = 2
+_R_STORE_CACHE = 3
+_R_STORE_BYPASS = 4
+_R_ATOMIC_HOST = 5
+_R_ATOMIC_PIM = 6
+_R_ATOMIC_UPEI = 7
+#: Host atomic that is an offload candidate (baseline mode, PMR target).
+_R_ATOMIC_HOST_CAND = 8
+
+#: Fixed transaction-kind indexing for the counter arrays; rebuilt into
+#: Counters in first-seen order at the end of a run.
+_TK_LIST = (
+    TransactionKind.READ_64,
+    TransactionKind.WRITE_64,
+    TransactionKind.ATOMIC_NO_RETURN,
+    TransactionKind.ATOMIC_WITH_RETURN,
+    TransactionKind.ATOMIC_CAS_LIKE,
+    TransactionKind.ATOMIC_COMPARE,
+)
+_TK_READ = 0
+_TK_WRITE = 1
+
+_PROPERTY_REGION = int(Region.PROPERTY)
+_MAX_OP = max(int(op) for op in AtomicOp)
+
+
+def _atomic_luts() -> tuple[np.ndarray, np.ndarray]:
+    """(op, with_return) -> transaction-kind index / response FLITs."""
+    tk = np.zeros((_MAX_OP + 1, 2), dtype=np.int64)
+    respf = np.zeros((_MAX_OP + 1, 2), dtype=np.int64)
+    index = {kind: i for i, kind in enumerate(_TK_LIST)}
+    for op, command in HOST_TO_HMC.items():
+        for ret in (0, 1):
+            kind = atomic_transaction_kind(command, bool(ret))
+            tk[int(op), ret] = index[kind]
+            respf[int(op), ret] = flits_for(kind)[1]
+    return tk, respf
+
+
+_TK_LUT, _RESPF_LUT = _atomic_luts()
+
+
+class _KernelResourceError(Exception):
+    """Internal: the C kernel could not allocate its working state.
+
+    Caught by :func:`try_simulate_vectorized` and converted into a
+    decline — nothing observable has happened yet, so falling back to
+    the reference interpreter is safe.
+    """
+
+
+def decline_reason(
+    trace: Trace, config: SystemConfig, recorder=None
+) -> Optional[str]:
+    """Why the vectorized kernel will not take this input, or ``None``.
+
+    Every reason here is a feature the reference interpreter models and
+    the kernel (so far) does not; declined inputs run on the reference
+    via the engine dispatcher's per-input fallback.
+    """
+    if recorder is not None and recorder.enabled:
+        return "timeline recording requested"
+    if config.faults is not None and config.faults.enabled:
+        return "fault-injection plan enabled"
+    if config.dram is not None:
+        return "hybrid DDR memory configured"
+    if (
+        config.hmc.fp_fus_per_vault == 0
+        and config.fp_extension
+        and config.mode in (Mode.GRAPHPIM, Mode.UPEI)
+    ):
+        # The reference raises a specific SimulationError the moment an
+        # FP atomic offloads into a zero-FP-FU cube; let it.
+        return "FP offload enabled with zero FP functional units"
+    if trace.num_threads > 64:
+        # The C kernel's sharer directory is a 64-bit core bitmask.
+        return "more than 64 threads"
+    if config.mlp < 1:
+        return "non-positive MLP window"
+    if config.hmc.fus_per_vault < 1:
+        return "no integer functional units per vault"
+    if (
+        config.l1.num_sets < 1
+        or config.l2.num_sets < 1
+        or config.l3.num_sets < 1
+    ):
+        return "degenerate cache geometry (zero sets)"
+    if config.hmc.num_vaults < 1 or config.hmc.banks_per_vault < 1:
+        return "degenerate HMC geometry"
+    _lib, kernel_reason = load_kernel()
+    if _lib is None:
+        return f"C batch kernel unavailable: {kernel_reason}"
+    return None
+
+
+def try_simulate_vectorized(
+    trace: Trace, config: SystemConfig, recorder=None
+):
+    """Run the batch kernel, or decline.
+
+    Returns ``(SimResult, None)`` on success and ``(None, reason)``
+    when the kernel declines the input.  Raises exactly where the
+    reference would raise for inputs both engines accept (barrier
+    mismatches, stuck barriers).
+    """
+    reason = decline_reason(trace, config, recorder)
+    if reason is not None:
+        return None, reason
+    try:
+        col = trace.columnar()
+    except TraceError as exc:
+        return None, f"trace not columnar-encodable: {exc}"
+    op = col.op
+    if col.num_events and bool(
+        np.any((col.kind == EV_ATOMIC) & ((op < 0) | (op > _MAX_OP)))
+    ):
+        # command_for_atomic would raise ConfigError; keep that error
+        # path on the reference interpreter.
+        return None, "atomic op outside the HMC command table"
+    if col.num_events and bool(np.any(col.addr < 0)):
+        # Python floor-mod vs C trunc-mod differ below zero; leave
+        # pathological traces to the reference.
+        return None, "negative addresses in trace"
+    try:
+        return _simulate_columnar(col, config), None
+    except _KernelResourceError as exc:
+        return None, str(exc)
+
+
+def _simulate_columnar(col, config: SystemConfig):
+    """The fused kernel proper.  See the module docstring for rules."""
+    from repro.sim.system import SimResult
+
+    cfg = config.hmc
+    T = col.num_threads
+    mode = config.mode
+
+    # ------------------------------------------------------------------
+    # Phase 1: vectorized precompute over the whole event stream.
+    # ------------------------------------------------------------------
+    kind = col.kind
+    gap = col.gap
+    is_barrier = kind == EV_BARRIER
+    is_load = kind == EV_LOAD
+    is_atomic = kind == EV_ATOMIC
+    # Barriers charge `gap` instructions, memory events `gap + 1`; the
+    # float product below is elementwise IEEE-identical to the scalar
+    # reference (`n_instr * (1.0 / issue_width)`).
+    n_instr = gap + (~is_barrier)
+    inv_issue = 1.0 / config.issue_width
+    issue = n_instr.astype(np.float64) * inv_issue
+
+    in_pmr = (col.addr >> REGION_SHIFT) == _PROPERTY_REGION
+    op_col = col.op
+    is_fp = (op_col == int(AtomicOp.FP_ADD)) | (
+        op_col == int(AtomicOp.FP_SUB)
+    )
+    offloadable = in_pmr & (config.fp_extension | ~is_fp)
+    bypass = mode is Mode.GRAPHPIM and config.pmr_bypass
+
+    pmr_ls = in_pmr if bypass else np.zeros(len(kind), dtype=bool)
+    if mode is Mode.GRAPHPIM:
+        atomic_off = is_atomic & offloadable
+        route_off = _R_ATOMIC_PIM
+    elif mode is Mode.UPEI:
+        atomic_off = is_atomic & offloadable
+        route_off = _R_ATOMIC_UPEI
+    else:
+        atomic_off = np.zeros(len(kind), dtype=bool)
+        route_off = _R_ATOMIC_PIM  # unused
+    atomic_host = is_atomic & ~atomic_off
+    if mode is Mode.BASELINE:
+        atomic_cand = atomic_host & in_pmr
+        atomic_host = atomic_host & ~in_pmr
+    else:
+        atomic_cand = np.zeros(len(kind), dtype=bool)
+
+    route = np.select(
+        [
+            is_barrier,
+            is_load & pmr_ls,
+            is_load,
+            atomic_off,
+            atomic_cand,
+            atomic_host,
+            pmr_ls,  # remaining: stores
+        ],
+        [
+            _R_BARRIER,
+            _R_LOAD_BYPASS,
+            _R_LOAD_CACHE,
+            route_off,
+            _R_ATOMIC_HOST_CAND,
+            _R_ATOMIC_HOST,
+            _R_STORE_BYPASS,
+        ],
+        default=_R_STORE_CACHE,
+    )
+
+    n1sets = config.l1.num_sets
+    n2sets = config.l2.num_sets
+    n3sets = config.l3.num_sets
+    line = col.addr >> 6
+    num_vaults = cfg.num_vaults
+    banks_per_vault = cfg.banks_per_vault
+
+    # Atomic transaction lookup (garbage for non-atomics, never read).
+    op_idx = np.where(is_atomic, op_col, 0)
+    ret_idx = (col.ret != 0).astype(np.int64)
+    tk_ev = _TK_LUT[op_idx, ret_idx]
+    respf_ev = _RESPF_LUT[op_idx, ret_idx]
+
+    # Contiguous int64/float64 columns handed straight to the C loop.
+    contig = np.ascontiguousarray
+    route_a = contig(route, dtype=np.int64)
+    line_a = contig(line, dtype=np.int64)
+    s1_a = contig(line % n1sets, dtype=np.int64)
+    s2_a = contig(line % n2sets, dtype=np.int64)
+    s3_a = contig(line % n3sets, dtype=np.int64)
+    vault_a = contig(line % num_vaults, dtype=np.int64)
+    bank_a = contig((col.addr >> 11) % banks_per_vault, dtype=np.int64)
+    tk_a = contig(tk_ev, dtype=np.int64)
+    respf_a = contig(respf_ev, dtype=np.int64)
+    isfp_a = contig(is_fp, dtype=np.int64)
+    bid_a = contig(col.size, dtype=np.int64)  # barrier ids ride size
+    ninstr_a = contig(n_instr, dtype=np.int64)
+    issue_a = contig(issue, dtype=np.float64)
+    starts_a = contig(col.starts, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Constants (same expressions/associativity as the reference).
+    # ------------------------------------------------------------------
+    lat1 = config.l1.latency
+    lat12 = config.l1.latency + config.l2.latency
+    lat123 = config.l1.latency + config.l2.latency + config.l3.latency
+    walk_latency = lat123
+    coherence_penalty = CacheHierarchy.COHERENCE_PENALTY
+    freeze = config.atomic_freeze_cycles
+    fp_extra = config.fp_atomic_extra_cycles
+    upei_op = config.upei_host_op_cycles
+    uc_posted = config.uc_posted_issue_cycles
+    offload_issue = config.offload_issue_cycles
+    mlp = config.mlp
+    prefetch = config.prefetch_next_line
+    l1_ways = config.l1.ways
+    l2_ways = config.l2.ways
+    l3_ways = config.l3.ways
+
+    link_lat = cfg.link_latency
+    vault_oh = cfg.vault_overhead
+    tRCD = cfg.tRCD
+    tCL = cfg.tCL
+    burst = cfg.burst
+    fu_op = cfg.fu_op
+    fp_fu_op = cfg.fp_fu_op
+    occ_read = cfg.tRAS + cfg.tRP
+    occ_write = cfg.tRCD + cfg.burst + cfg.tWR + cfg.tRP
+    if cfg.atomic_locks_bank:
+        occ_at_int = cfg.tRCD + cfg.tCL + cfg.fu_op + cfg.tWR + cfg.tRP
+        occ_at_fp = cfg.tRCD + cfg.tCL + cfg.fp_fu_op + cfg.tWR + cfg.tRP
+    else:
+        occ_at_int = cfg.tRAS + cfg.tRP
+        occ_at_fp = occ_at_int
+    rate = cfg.flits_per_cycle_per_direction
+    c1 = 1 / rate
+    c2 = 2 / rate
+    c5 = 5 / rate
+
+    # ------------------------------------------------------------------
+    # Phase 2: the fused loop, lowered to C.
+    # ------------------------------------------------------------------
+    cfg_i = np.array(
+        [
+            mlp,
+            l1_ways,
+            l2_ways,
+            l3_ways,
+            n1sets,
+            n2sets,
+            n3sets,
+            num_vaults,
+            banks_per_vault,
+            cfg.fus_per_vault,
+            max(cfg.fp_fus_per_vault, 1),
+            1 if prefetch else 0,
+        ],
+        dtype=np.int64,
+    )
+    cfg_d = np.array(
+        [
+            lat1,
+            lat12,
+            lat123,
+            coherence_penalty,
+            freeze,
+            fp_extra,
+            upei_op,
+            uc_posted,
+            offload_issue,
+            link_lat,
+            vault_oh,
+            tRCD,
+            tCL,
+            burst,
+            fu_op,
+            fp_fu_op,
+            occ_read,
+            occ_write,
+            occ_at_int,
+            occ_at_fp,
+            rate,
+            c1,
+            c2,
+            c5,
+        ],
+        dtype=np.float64,
+    )
+    # Output buffers: per-core accumulators grouped field-major, global
+    # counters, and the transaction-kind count/order block.
+    core_d = np.zeros(5 * T, dtype=np.float64)
+    core_i = np.zeros(9 * T, dtype=np.int64)
+    out_i = np.zeros(18, dtype=np.int64)
+    out_d = np.zeros(3, dtype=np.float64)
+    tkbuf = np.zeros(25, dtype=np.int64)
+
+    lib, _unavailable = load_kernel()  # non-None; decline_reason checked
+    i64p = ctypes.POINTER(ctypes.c_int64)
+    f64p = ctypes.POINTER(ctypes.c_double)
+
+    def ip(a):
+        return a.ctypes.data_as(i64p)
+
+    def fp(a):
+        return a.ctypes.data_as(f64p)
+
+    rc = lib.graphpim_simulate(
+        col.num_events,
+        T,
+        ip(route_a),
+        ip(line_a),
+        ip(s1_a),
+        ip(s2_a),
+        ip(s3_a),
+        ip(vault_a),
+        ip(bank_a),
+        ip(tk_a),
+        ip(respf_a),
+        ip(isfp_a),
+        ip(bid_a),
+        ip(ninstr_a),
+        fp(issue_a),
+        ip(starts_a),
+        ip(cfg_i),
+        fp(cfg_d),
+        fp(core_d),
+        ip(core_i),
+        ip(out_i),
+        fp(out_d),
+        ip(tkbuf),
+    )
+    if rc == 1:
+        raise SimulationError(
+            f"core {int(out_i[14])} reached barrier {int(out_i[15])} "
+            f"while others wait at {int(out_i[16])}"
+        )
+    if rc == 2:
+        raise SimulationError(
+            "simulation ended with cores stuck at a barrier "
+            f"(barrier {int(out_i[15])}, {int(out_i[17])} cores)"
+        )
+    if rc != 0:
+        raise _KernelResourceError(
+            f"C kernel could not allocate working state (rc={rc})"
+        )
+
+    # ------------------------------------------------------------------
+    # Results: rebuild the reference's stats objects field for field.
+    # tolist() yields native Python ints/floats (bit-preserving), which
+    # keeps SimResult.to_dict() JSON byte-identical.
+    # ------------------------------------------------------------------
+    cd = core_d.tolist()
+    ci = core_i.tolist()
+    total = CoreStats()
+    for i in range(T):
+        total.instructions = total.instructions + ci[i]
+        total.issue_cycles = total.issue_cycles + cd[T + i]
+        total.mem_stall_cycles = total.mem_stall_cycles + cd[2 * T + i]
+        total.atomic_incore_cycles = (
+            total.atomic_incore_cycles + cd[3 * T + i]
+        )
+        total.atomic_incache_cycles = (
+            total.atomic_incache_cycles + cd[4 * T + i]
+        )
+        total.host_atomics = total.host_atomics + ci[T + i]
+        total.offloaded_atomics = total.offloaded_atomics + ci[2 * T + i]
+        total.upei_cache_atomics = total.upei_cache_atomics + ci[3 * T + i]
+        total.candidate_total = total.candidate_total + ci[4 * T + i]
+        total.candidate_llc_miss = total.candidate_llc_miss + ci[5 * T + i]
+        total.candidate_l1_hit = total.candidate_l1_hit + ci[6 * T + i]
+        total.candidate_l2_hit = total.candidate_l2_hit + ci[7 * T + i]
+        total.candidate_l3_hit = total.candidate_l3_hit + ci[8 * T + i]
+
+    oi = out_i.tolist()
+    od = out_d.tolist()
+    tkl = tkbuf.tolist()
+    hmc_stats = HmcStats()
+    for j in range(tkl[24]):
+        k = tkl[18 + j]
+        tkind = _TK_LIST[k]
+        hmc_stats.requests[tkind] = tkl[k]
+        hmc_stats.request_flits[tkind] = tkl[6 + k]
+        hmc_stats.response_flits[tkind] = tkl[12 + k]
+    hmc_stats.dram_activates = oi[9]
+    hmc_stats.dram_reads = oi[10]
+    hmc_stats.dram_writes = oi[11]
+    hmc_stats.fu_int_ops = oi[12]
+    hmc_stats.fu_fp_ops = oi[13]
+    hmc_stats.bank_wait_cycles = od[0]
+    hmc_stats.link_wait_cycles = od[1] + od[2]
+
+    return SimResult(
+        config=config,
+        cycles=max(cd[:T]),
+        core_stats=total,
+        cache_stats={
+            "L1": CacheLevelStats(hits=oi[0], misses=oi[1]),
+            "L2": CacheLevelStats(hits=oi[2], misses=oi[3]),
+            "L3": CacheLevelStats(hits=oi[4], misses=oi[5]),
+        },
+        hmc_stats=hmc_stats,
+        cache_invalidations=oi[6],
+        cache_writebacks=oi[7],
+        dram_stats=None,
+        cache_prefetches=oi[8],
+    )
+

@@ -233,6 +233,22 @@ class ColumnarTrace:
             out[rows] = closed - is_barrier
         return out
 
+    def lines(self) -> np.ndarray:
+        """64-byte cache-line index of every event's address."""
+        return self.addr >> 6
+
+    def vault_ids(self, num_vaults: int) -> np.ndarray:
+        """HMC vault of every event (low line bits, the device mapping)."""
+        return (self.addr >> 6) % num_vaults
+
+    def bank_ids(self, banks_per_vault: int) -> np.ndarray:
+        """DRAM bank within the vault of every event."""
+        return (self.addr >> 11) % banks_per_vault
+
+    def region_ids(self, region_shift: int) -> np.ndarray:
+        """Memory-layout region index (:mod:`repro.memlayout.regions`)."""
+        return self.addr >> region_shift
+
     def barrier_sequences(self) -> list[np.ndarray]:
         """Per-thread barrier id arrays, in thread order."""
         sequences = []
@@ -366,7 +382,12 @@ def _make_trace(threads, name: str):
 
 
 def as_columnar(trace) -> ColumnarTrace:
-    """Coerce a :class:`Trace` or :class:`ColumnarTrace` to columnar."""
+    """Coerce a :class:`Trace` or :class:`ColumnarTrace` to columnar.
+
+    For tuple-form traces this goes through :meth:`Trace.columnar`, so
+    the (validating, per-event) conversion cost is paid once per trace
+    object no matter how many passes or simulations consume it.
+    """
     if isinstance(trace, ColumnarTrace):
         return trace
-    return ColumnarTrace.from_events(trace)
+    return trace.columnar()

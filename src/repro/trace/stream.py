@@ -130,6 +130,34 @@ class Trace:
                     f"{self.threads[0].thread_id} and {thread.thread_id}"
                 )
 
+    def columnar(self):
+        """Memoized columnar (SoA) form of this trace.
+
+        The validating per-event conversion is the expensive part of the
+        vectorized paths, and the same trace is typically consumed
+        several times (three simulation modes, plus analysis passes), so
+        the result is cached on the instance.  Traces are append-only
+        during capture and frozen once handed to analysis/simulation;
+        the memo assumes no post-capture mutation.
+
+        Raises :class:`~repro.common.errors.TraceError` (uncached) when
+        the trace is not columnar-encodable.
+        """
+        cached = self.__dict__.get("_columnar")
+        if cached is None:
+            from repro.trace.columnar import ColumnarTrace
+
+            cached = ColumnarTrace.from_events(self)
+            self.__dict__["_columnar"] = cached
+        return cached
+
+    def __getstate__(self) -> dict:
+        # Keep pickle IPC (pool workers) lean: the columnar memo is
+        # derived data, cheaper to rebuild than to ship twice.
+        state = self.__dict__.copy()
+        state.pop("_columnar", None)
+        return state
+
     def __repr__(self) -> str:
         return (
             f"Trace(name={self.name!r}, threads={self.num_threads}, "

@@ -289,8 +289,13 @@ def test_engine_selection_and_merged_order(small_graph):
         manager.merged_report(slow, "DC"),
         manager.merged_report(fast, "DC"),
     )
-    with pytest.raises(ConfigError, match="unknown analysis engine"):
+    with pytest.raises(ConfigError, match="unknown engine"):
         manager.run(run.trace, engine="warp-speed")
+    # "auto" is the unified vocabulary's name for the same execution.
+    auto = manager.run(
+        run.trace, address_space=run.address_space, engine="auto"
+    )
+    assert {r.engine for r in auto.values()} == {"vectorized"}
 
 
 def test_env_engine_override(monkeypatch):
