@@ -2,8 +2,10 @@
 # CI gate: style lint, type check, tier-1 tests, trace-lint (text +
 # SARIF + baseline gating), analysis-engine benchmark smoke,
 # simulation-kernel equivalence (both engines, diffed JSON),
-# fault-injection smoke runs, observability smoke, and an end-to-end
-# smoke of the simulation service (boot, submit, SIGTERM drain).
+# fault-injection smoke runs, a chaos smoke (kill a worker mid-grid,
+# assert bit-identical recovery and no leaked shm segments),
+# observability smoke, and an end-to-end smoke of the simulation
+# service (boot, submit, SIGTERM drain).
 #
 # ruff and mypy run as hard failures when installed.  The offline test
 # image ships without them, so by default their absence only prints a
@@ -196,6 +198,47 @@ else
 fi
 run_or_fail python -m repro cache --cache-dir "$fault_cache" --verify
 rm -rf "$fault_cache"
+
+step "repro run (chaos smoke: kill one worker, bit-identical recovery)"
+# A chaos plan that kills a worker mid-grid must still complete with
+# zero failures and produce workload results byte-identical to a
+# serial chaos-free run, and the supervised pool must leave no shared
+# memory segments behind in /dev/shm.
+chaos_dir="$(mktemp -d)"
+run_or_fail python -m repro run --scale tiny --no-parallel --no-cache \
+    --json > "$chaos_dir/serial.json"
+run_or_fail python -m repro run --scale tiny --jobs 2 --no-cache \
+    --chaos "kill=0:0,seed=7" --json > "$chaos_dir/chaos.json"
+if python -c '
+import json, sys
+serial = json.load(open(sys.argv[1]))
+chaos = json.load(open(sys.argv[2]))
+assert chaos["runner"]["failures"] == [], chaos["runner"]["failures"]
+a, b = serial["workloads"], chaos["workloads"]
+assert a.keys() == b.keys() and a, "workload sets differ"
+for code in a:
+    if a[code] != b[code]:
+        raise SystemExit(f"chaos results differ for {code}")
+crashes = chaos["runner"]["worker_crashes"]
+print(f"chaos diff: {len(a)} workload(s) byte-identical, "
+      f"{crashes} worker crash(es) survived")
+' "$chaos_dir/serial.json" "$chaos_dir/chaos.json"; then
+    echo "chaos recovery smoke passed"
+else
+    echo "chaos recovery smoke FAILED"
+    failures=$((failures + 1))
+fi
+if [ -d /dev/shm ]; then
+    leftover="$(find /dev/shm -maxdepth 1 -name 'repro_*' | wc -l)"
+    if [ "$leftover" -ne 0 ]; then
+        echo "chaos smoke FAILED: $leftover leaked /dev/shm segment(s)"
+        find /dev/shm -maxdepth 1 -name 'repro_*'
+        failures=$((failures + 1))
+    else
+        echo "shm leak check passed (no repro_* segments left)"
+    fi
+fi
+rm -rf "$chaos_dir"
 
 step "repro obs (timeline export + structured-log smoke)"
 obs_dir="$(mktemp -d)"

@@ -19,6 +19,7 @@ Quickstart::
     print(report.summary())
 """
 
+from repro.chaos import ChaosPlan
 from repro.common.engine import EngineInfo, EngineSelection
 from repro.core.api import EvaluationReport, GraphPimSystem
 from repro.core.presets import bench_graph, sim_scale_config
@@ -38,6 +39,7 @@ from repro.workloads import all_workloads, get_workload
 __version__ = "1.0.0"
 
 __all__ = [
+    "ChaosPlan",
     "EngineInfo",
     "EngineSelection",
     "EvaluationReport",

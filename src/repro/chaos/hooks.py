@@ -1,0 +1,87 @@
+"""Parent-side chaos hooks: deliberate damage to on-disk state.
+
+These are the injection points a :class:`~repro.chaos.plan.ChaosPlan`
+drives from the supervising process (the worker-side hooks — kill,
+heartbeat stall — live in :mod:`repro.runner.pool` where the worker
+loop runs).  Each hook logs a structured ``chaos_*`` event so a chaos
+run's journal of self-inflicted damage is auditable.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.chaos.plan import ChaosPlan
+from repro.obs.logs import get_logger
+
+_log = get_logger("chaos")
+
+
+def corrupt_cache_entries(cache_dir: str, plan: ChaosPlan) -> int:
+    """Flip bytes in up to ``plan.corrupt_cache_entries`` cache objects.
+
+    Targets the oldest entries in sorted-path order so the choice is
+    stable for a given cache population; byte offsets derive from the
+    plan seed.  Returns the number of files damaged.  The cache must
+    treat every damaged entry as a miss and regenerate it.
+    """
+    if plan.corrupt_cache_entries <= 0:
+        return 0
+    objects = Path(cache_dir) / "objects"
+    if not objects.is_dir():
+        return 0
+    victims = sorted(
+        path
+        for path in objects.iterdir()
+        if path.is_file() and path.suffix == ".json"
+    )[: plan.corrupt_cache_entries]
+    damaged = 0
+    for path in victims:
+        rng = plan.rng("cache", path.name)
+        try:
+            data = bytearray(path.read_bytes())
+            if not data:
+                continue
+            for _ in range(4):
+                index = rng.randrange(len(data))
+                data[index] ^= 0xFF
+            path.write_bytes(bytes(data))
+        except OSError:  # pragma: no cover - cache raced away
+            continue
+        damaged += 1
+        _log.warning(
+            "chaos: corrupted cache entry %s",
+            path.name,
+            extra={"event": "chaos_cache_corrupted", "entry": path.name},
+        )
+    return damaged
+
+
+def truncate_journal(path: str, nbytes: int) -> bool:
+    """Chop ``nbytes`` off the journal tail (a simulated torn write).
+
+    Returns False when the journal is missing or shorter than the cut.
+    The torn-line-tolerant readers must still recover every record
+    before the tear.
+    """
+    if nbytes <= 0 or not os.path.exists(path):
+        return False
+    size = os.path.getsize(path)
+    if size == 0:
+        return False
+    keep = max(0, size - nbytes)
+    with open(path, "rb+") as handle:
+        handle.truncate(keep)
+    _log.warning(
+        "chaos: truncated journal %s to %d byte(s)",
+        path,
+        keep,
+        extra={
+            "event": "chaos_journal_truncated",
+            "path": path,
+            "kept_bytes": keep,
+            "cut_bytes": size - keep,
+        },
+    )
+    return True

@@ -180,6 +180,37 @@ def _build_parser() -> argparse.ArgumentParser:
         "fallback), vectorized, or legacy (the per-event reference "
         "interpreter); default: REPRO_ENGINE or auto",
     )
+    run.add_argument(
+        "--pool",
+        choices=("supervised", "executor"),
+        default=None,
+        help="grid mode: parallel dispatch strategy — supervised "
+        "(heartbeat-monitored workers with crash recovery, the "
+        "default) or executor (plain ProcessPoolExecutor)",
+    )
+    run.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="grid mode: kill and replace a supervised worker whose "
+        "heartbeat goes silent for this long (default: 30)",
+    )
+    run.add_argument(
+        "--max-pool-restarts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="grid mode: replacement workers the supervisor may spawn "
+        "before degrading to in-process execution (default: 3)",
+    )
+    run.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        default=None,
+        help="grid mode: chaos-injection plan for resilience testing, "
+        "e.g. kill=0:1,seed=7 (kill/stall/shm/cache/journal/poison)",
+    )
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the persistent result cache"
@@ -663,6 +694,17 @@ def _cmd_run_grid(args) -> int:
     log_level = args.log_level
     if log_level is None and args.log_json:
         log_level = "info"
+    extra: dict = {}
+    if args.pool is not None:
+        extra["pool"] = args.pool
+    if args.heartbeat_timeout is not None:
+        extra["heartbeat_timeout_s"] = args.heartbeat_timeout
+    if args.max_pool_restarts is not None:
+        extra["max_pool_restarts"] = args.max_pool_restarts
+    if args.chaos is not None:
+        from repro.chaos import ChaosPlan
+
+        extra["chaos"] = ChaosPlan.from_spec(args.chaos)
     config = RunnerConfig(
         scale=args.scale,
         strict=args.strict,
@@ -677,6 +719,7 @@ def _cmd_run_grid(args) -> int:
         log_level=log_level,
         log_json=args.log_json,
         engine=args.engine,
+        **extra,
     )
 
     def progress(record) -> None:
@@ -771,7 +814,9 @@ def _cmd_cache(args) -> int:
             )
             if outcome["quarantined"]:
                 print(f"quarantine : {outcome['quarantine_dir']}")
-        return 0
+        # Quarantined entries mean the cache held corrupt data; exit
+        # nonzero so CI health checks catch it without parsing output.
+        return 1 if outcome["quarantined"] else 0
     info = cache.info()
     if args.json:
         print(json.dumps(info, indent=2))

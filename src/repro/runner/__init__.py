@@ -16,8 +16,12 @@ Entry points:
   standard grids (CLI ``repro run``, ``examples/reproduce_all.py``).
 - :class:`ExperimentRunner` — execute an arbitrary spec list.
 - :class:`ResultCache` — cache inspection/maintenance (``repro cache``).
+- :class:`SupervisedWorkerPool` — the heartbeat-monitored worker pool
+  behind parallel grids (``RunnerConfig.pool="supervised"``), with
+  shared-memory trace hand-off and crash/hang/poison recovery.
 """
 
+from repro.chaos import ChaosPlan
 from repro.faults import FaultPlan
 from repro.runner.cache import (
     CACHE_LAYOUT_VERSION,
@@ -35,6 +39,14 @@ from repro.runner.engine import (
     plain_atomics_specs,
     run_evaluation_grid,
     run_full_grid,
+)
+from repro.runner.pool import PoolOutcome, SupervisedWorkerPool
+from repro.runner.shm import (
+    ShmError,
+    ShmTraceRef,
+    attach_trace,
+    publish_trace,
+    unlink_segment,
 )
 from repro.runner.fingerprint import (
     CODE_VERSION,
@@ -54,6 +66,7 @@ from repro.runner.spec import (
 
 __all__ = [
     "CACHE_LAYOUT_VERSION",
+    "ChaosPlan",
     "CheckpointJournal",
     "CODE_VERSION",
     "DEFAULT_CACHE_DIR",
@@ -63,19 +76,26 @@ __all__ = [
     "GridResults",
     "JobFailure",
     "JobRecord",
+    "PoolOutcome",
     "ResultCache",
     "RunnerConfig",
     "RunnerReport",
+    "ShmError",
+    "ShmTraceRef",
     "SpecOutcome",
+    "SupervisedWorkerPool",
+    "attach_trace",
     "config_fingerprint",
     "evaluation_grid_specs",
     "execute_spec",
     "execute_spec_async",
     "motivation_extra_specs",
     "plain_atomics_specs",
+    "publish_trace",
     "result_key",
     "spec_key",
     "run_evaluation_grid",
     "run_full_grid",
     "trace_digest",
+    "unlink_segment",
 ]

@@ -54,7 +54,10 @@ class ResultCache:
         try:
             with open(path, encoding="utf-8") as handle:
                 payload = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except (OSError, ValueError):
+            # ValueError covers JSONDecodeError *and* UnicodeDecodeError:
+            # a bit-flipped entry whose bytes are no longer UTF-8 must
+            # read as a miss, not crash the worker mid-grid.
             self.misses += 1
             return None
         self.hits += 1

@@ -32,6 +32,7 @@ Resilience features ride on :class:`RunnerConfig`:
 
 from __future__ import annotations
 
+import random
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
@@ -99,22 +100,16 @@ class SpecOutcome:
         )
 
 
-def execute_spec(spec: ExperimentSpec, config: RunnerConfig) -> dict:
-    """Run one job; returns a picklable payload (worker entry point).
+def trace_spec(
+    spec: ExperimentSpec, config: RunnerConfig
+) -> "tuple[WorkloadRun, str]":
+    """Phase 1 of a job: trace the workload and gate it (strict).
 
-    Payload layout::
-
-        {"run": WorkloadRun, "trace_hash": str, "seconds": float,
-         "modes": {label: {"payload": SimResult.to_dict(), "cached": bool,
-                           "engine": str | None, "fallback": bool}}}
-
-    ``engine`` names the implementation that produced a freshly
-    simulated mode (``None`` for cache hits, whose producing engine is
-    unknowable — and irrelevant, results being bit-identical).
+    Returns the functional run and its trace digest.  Split out of
+    :func:`execute_spec` so the supervised pool can publish the trace
+    to shared memory between tracing and simulation — a re-dispatched
+    job re-attaches the published trace instead of re-running this.
     """
-    from repro.sim.system import simulate_with_engine  # local: fork cost
-
-    started = time.perf_counter()
     graph = workload_graph(spec.workload, spec.scale)
     workload = get_workload(spec.workload)
     run = workload.run(
@@ -137,6 +132,18 @@ def execute_spec(spec: ExperimentSpec, config: RunnerConfig) -> dict:
             trace_hash=trace_hash,
             baseline=config.lint_baseline,
         )
+    return run, trace_hash
+
+
+def simulate_spec_modes(
+    run: WorkloadRun,
+    trace_hash: str,
+    spec: ExperimentSpec,
+    config: RunnerConfig,
+) -> "dict[str, dict]":
+    """Phase 2 of a job: each mode from the cache or the simulator."""
+    from repro.sim.system import simulate_with_engine  # local: fork cost
+
     cache = (
         ResultCache(config.cache_dir) if config.cache_dir is not None else None
     )
@@ -171,6 +178,25 @@ def execute_spec(spec: ExperimentSpec, config: RunnerConfig) -> dict:
             "engine": engine_name,
             "fallback": fallback,
         }
+    return modes
+
+
+def execute_spec(spec: ExperimentSpec, config: RunnerConfig) -> dict:
+    """Run one job; returns a picklable payload (worker entry point).
+
+    Payload layout::
+
+        {"run": WorkloadRun, "trace_hash": str, "seconds": float,
+         "modes": {label: {"payload": SimResult.to_dict(), "cached": bool,
+                           "engine": str | None, "fallback": bool}}}
+
+    ``engine`` names the implementation that produced a freshly
+    simulated mode (``None`` for cache hits, whose producing engine is
+    unknowable — and irrelevant, results being bit-identical).
+    """
+    started = time.perf_counter()
+    run, trace_hash = trace_spec(spec, config)
+    modes = simulate_spec_modes(run, trace_hash, spec, config)
     return {
         "run": run,
         "trace_hash": trace_hash,
@@ -211,7 +237,11 @@ class ExperimentRunner:
 
     ``clock`` and ``sleep`` default to the real monotonic clock and
     :func:`time.sleep`; tests inject fakes to verify the timeout and
-    backoff schedules without waiting them out.
+    backoff schedules without waiting them out.  ``backoff_rng`` maps a
+    spec_key to the :class:`random.Random` driving that job's
+    full-jitter retry backoff — the default seeds from the spec_key
+    itself, so retry schedules are deterministic per job yet
+    decorrelated across jobs (no synchronized retry stampedes).
     """
 
     def __init__(
@@ -219,10 +249,14 @@ class ExperimentRunner:
         config: Optional[RunnerConfig] = None,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        backoff_rng: Optional[Callable[[str], random.Random]] = None,
     ):
         self.config = config or RunnerConfig()
         self._clock = clock
         self._sleep = sleep
+        self._backoff_rng = backoff_rng or (
+            lambda key: random.Random(f"backoff:{key}")
+        )
         self._journal: Optional[CheckpointJournal] = None
         self._spec_keys: "list[str]" = []
         self._failures: "list[JobFailure]" = []
@@ -293,13 +327,38 @@ class ExperimentRunner:
                 "workers": report.worker_count,
             },
         )
+        chaos = self.config.chaos
+        if (
+            chaos is not None
+            and chaos.corrupt_cache_entries
+            and self.config.cache_dir is not None
+        ):
+            from repro.chaos import corrupt_cache_entries
+
+            corrupt_cache_entries(self.config.cache_dir, chaos)
         outcomes: list[Optional[SpecOutcome]] = [None] * len(specs)
         if use_pool:
-            retry = self._run_pool(
-                specs, records, outcomes, progress, pending
-            )
+            if self.config.pool == "supervised":
+                retry = self._run_supervised(
+                    specs, records, outcomes, progress, pending, report
+                )
+            else:
+                retry = self._run_pool(
+                    specs, records, outcomes, progress, pending
+                )
+                if retry:
+                    report.pool_restarts += 1
             if retry:
                 report.fell_back = True
+                _log.error(
+                    "pool broken: re-running %d job(s) in-process",
+                    len(retry),
+                    extra={
+                        "event": "pool_broken",
+                        "jobs": len(retry),
+                        "pool": self.config.pool,
+                    },
+                )
                 for index in retry:
                     self._run_inline(
                         specs, records, outcomes, index, progress,
@@ -311,6 +370,16 @@ class ExperimentRunner:
                     specs, records, outcomes, index, progress,
                     executor="inline",
                 )
+        if (
+            chaos is not None
+            and chaos.truncate_journal_bytes
+            and self._journal is not None
+        ):
+            from repro.chaos import truncate_journal
+
+            truncate_journal(
+                str(self._journal.path), chaos.truncate_journal_bytes
+            )
         report.wall_seconds = self._clock() - started
         report.failures = list(self._failures)
         _log.info(
@@ -326,6 +395,9 @@ class ExperimentRunner:
                 "retries": report.retries,
                 "total_sim_cycles": report.total_sim_cycles,
                 "wall_seconds": report.wall_seconds,
+                "pool_restarts": report.pool_restarts,
+                "worker_crashes": report.worker_crashes,
+                "shm_attach_failures": report.shm_attach_failures,
             },
         )
         if report.failures and not self.config.allow_partial:
@@ -427,6 +499,77 @@ class ExperimentRunner:
                     proc.terminate()
         return retry
 
+    def _run_supervised(
+        self,
+        specs: "list[ExperimentSpec]",
+        records: "list[JobRecord]",
+        outcomes: "list[Optional[SpecOutcome]]",
+        progress: Optional[ProgressFn],
+        pending: "list[int]",
+        report: RunnerReport,
+    ) -> "list[int]":
+        """Fan out over the supervised pool; returns circuit leftovers.
+
+        Completion callbacks fire in this process as jobs drain, so
+        journal checkpointing, progress reporting, and failure
+        accounting behave exactly like the inline path — a SIGTERM
+        mid-grid keeps every already-completed spec resumable.
+        """
+        from repro.runner.pool import SupervisedWorkerPool
+
+        def on_dispatch(index: int, attempts: int, resumed: bool) -> None:
+            record = records[index]
+            record.status = "running"
+            record.executor = "worker"
+            self._submitted[index] = self._clock()
+            _log.debug(
+                "job submitted: %s",
+                record.job_id,
+                extra={
+                    "event": "job_submitted",
+                    "job_id": record.job_id,
+                    "spec_key": self._spec_keys[index],
+                    "attempt": attempts,
+                    "resumed": resumed,
+                },
+            )
+
+        def collect(index: int, outcome: dict) -> None:
+            record = records[index]
+            record.attempts = outcome["attempts"]
+            if outcome["status"] == "done":
+                self._finish(
+                    record, outcome["payload"], specs[index], outcomes,
+                    index,
+                )
+                record.queue_seconds = outcome.get(
+                    "queue_seconds", record.queue_seconds
+                )
+                if progress is not None:
+                    progress(record)
+            else:
+                self._fail(
+                    record, outcome["kind"], outcome["message"], progress
+                )
+
+        pool = SupervisedWorkerPool(
+            self.config,
+            backoff_rng=lambda index: self._backoff_rng(
+                self._spec_keys[index]
+            ),
+            on_dispatch=on_dispatch,
+        )
+        try:
+            result = pool.run(
+                [(index, specs[index]) for index in pending], collect
+            )
+        finally:
+            pool.shutdown()
+        report.pool_restarts += result.restarts
+        report.worker_crashes += result.worker_crashes
+        report.shm_attach_failures += result.shm_attach_failures
+        return list(result.leftover)
+
     def _await_future(
         self,
         executor,
@@ -440,13 +583,15 @@ class ExperimentRunner:
         """Collect one pool job, enforcing the per-job deadline.
 
         A timed-out job is resubmitted up to ``job_retries`` times with
-        exponential backoff; exhausting the budget records a structured
-        timeout failure.  Returns True when the pool broke and the job
-        must be re-run in-process instead.
+        full-jitter exponential backoff (the n-th retry sleeps a
+        uniform draw from ``[0, base * factor**(n-1)]``, seeded per
+        spec_key); exhausting the budget records a structured timeout
+        failure.  Returns True when the pool broke and the job must be
+        re-run in-process instead.
         """
         config = self.config
         record = records[index]
-        delay = config.backoff_base_s
+        rng = self._backoff_rng(self._spec_keys[index])
         while True:
             record.attempts += 1
             try:
@@ -467,6 +612,10 @@ class ExperimentRunner:
                         progress,
                     )
                     return False
+                cap = config.backoff_base_s * (
+                    config.backoff_factor ** (record.attempts - 1)
+                )
+                delay = rng.uniform(0.0, cap)
                 _log.warning(
                     "job retry: %s (attempt %d)",
                     record.job_id,
@@ -480,7 +629,6 @@ class ExperimentRunner:
                     },
                 )
                 self._sleep(delay)
-                delay *= config.backoff_factor
                 try:
                     future = executor.submit(
                         execute_spec, specs[index], self.config

@@ -17,6 +17,8 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.chaos.plan import ChaosPlan
+from repro.common.errors import ConfigError
 from repro.runner.fingerprint import CODE_VERSION
 from repro.sim.config import SystemConfig
 
@@ -93,6 +95,30 @@ class RunnerConfig:
         by contract, so the choice never participates in cache identity
         or spec keys — flipping it can neither churn nor poison the
         cache.
+    pool:
+        Parallel execution tier: ``"supervised"`` (default) uses the
+        heartbeat-supervised shared-memory worker pool
+        (:mod:`repro.runner.pool`); ``"executor"`` keeps the legacy
+        bare ``ProcessPoolExecutor`` fan-out.  Results are
+        bit-identical either way.
+    heartbeat_interval_s / heartbeat_timeout_s:
+        Supervised-pool liveness protocol: workers beat every
+        ``heartbeat_interval_s``; a worker silent for longer than
+        ``heartbeat_timeout_s`` is declared hung, killed, and its job
+        re-dispatched (``repro run --heartbeat-timeout``).
+    max_pool_restarts:
+        Budget of replacement workers the supervisor may spawn after
+        deaths; once spent and no worker survives, the circuit breaker
+        degrades the grid to serial in-process execution
+        (``repro run --max-pool-restarts``).
+    chaos:
+        Optional :class:`~repro.chaos.plan.ChaosPlan` of deliberate
+        infrastructure faults (worker kills, heartbeat stalls, shm and
+        cache corruption, journal tears) for resilience testing
+        (``repro run --chaos``).  Execution-strategy only — like
+        ``engine``, never part of cache identity: a chaos grid must
+        produce bit-identical results or the supervision layer is
+        broken.
     """
 
     scale: Optional[str] = None
@@ -111,6 +137,28 @@ class RunnerConfig:
     log_level: Optional[str] = None
     log_json: bool = False
     engine: Optional[str] = None
+    pool: str = "supervised"
+    heartbeat_interval_s: float = 1.0
+    heartbeat_timeout_s: float = 30.0
+    max_pool_restarts: int = 3
+    chaos: Optional[ChaosPlan] = None
+
+    def __post_init__(self) -> None:
+        if self.pool not in ("supervised", "executor"):
+            raise ConfigError(
+                f"pool must be 'supervised' or 'executor', got "
+                f"{self.pool!r}"
+            )
+        if self.heartbeat_interval_s <= 0:
+            raise ConfigError("heartbeat_interval_s must be > 0")
+        if self.heartbeat_timeout_s <= self.heartbeat_interval_s:
+            raise ConfigError(
+                "heartbeat_timeout_s must exceed heartbeat_interval_s "
+                f"({self.heartbeat_timeout_s} <= "
+                f"{self.heartbeat_interval_s})"
+            )
+        if self.max_pool_restarts < 0:
+            raise ConfigError("max_pool_restarts must be >= 0")
 
     def resolved_jobs(self) -> int:
         """Effective worker count (>= 1)."""
@@ -221,8 +269,10 @@ class JobFailure:
     """Structured description of one job that did not produce results.
 
     ``kind`` is one of ``"timeout"`` (wall-clock budget exceeded),
-    ``"crash"`` (the worker process died), or ``"error"`` (the job
-    raised a deterministic :class:`~repro.common.errors.ReproError`).
+    ``"crash"`` (the worker process died), ``"error"`` (the job raised
+    a deterministic :class:`~repro.common.errors.ReproError`), or
+    ``"poisoned"`` (the same spec killed two pool workers and was
+    quarantined instead of retried forever).
     """
 
     job_id: str
@@ -299,6 +349,14 @@ class RunnerReport:
     fell_back: bool = False
     #: Structured outcomes for every job that produced no results.
     failures: list[JobFailure] = field(default_factory=list)
+    #: Pool restarts: replacement workers spawned by the supervised
+    #: pool, or (legacy executor) broken-pool fallbacks to in-process.
+    pool_restarts: int = 0
+    #: Workers that crashed or were killed for missed heartbeats.
+    worker_crashes: int = 0
+    #: Shared-memory trace attaches that failed verification and fell
+    #: back to the npz spill file.
+    shm_attach_failures: int = 0
 
     @property
     def jobs_total(self) -> int:
@@ -358,6 +416,9 @@ class RunnerReport:
             "retries": self.retries,
             "total_sim_cycles": self.total_sim_cycles,
             "engine_fallbacks": self.engine_fallbacks,
+            "pool_restarts": self.pool_restarts,
+            "worker_crashes": self.worker_crashes,
+            "shm_attach_failures": self.shm_attach_failures,
         }
 
     def summary_line(self) -> str:
@@ -372,6 +433,16 @@ class RunnerReport:
         )
         if self.engine_fallbacks:
             line += f" [{self.engine_fallbacks} engine fallback(s)]"
+        if (
+            self.pool_restarts
+            or self.worker_crashes
+            or self.shm_attach_failures
+        ):
+            line += (
+                f" [pool: {self.pool_restarts} restart(s), "
+                f"{self.worker_crashes} worker crash(es), "
+                f"{self.shm_attach_failures} shm fallback(s)]"
+            )
         return line
 
     def summary(self) -> str:

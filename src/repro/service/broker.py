@@ -217,6 +217,9 @@ class JobBroker:
         self._terminal: "deque[str]" = deque()
         self._draining = False
         self._inflight = 0
+        self._workers_alive = 0
+        self._worker_crashes = 0
+        self._worker_restarts = 0
         cache_dir = self.config.runner.cache_dir
         #: Response store: full canonical job responses keyed by
         #: spec_key, in a sibling namespace of the SimResult cache so
@@ -277,6 +280,17 @@ class JobBroker:
             "service_cache_pruned_bytes_total",
             "Bytes reclaimed by cache pruning",
         )
+        self._m_worker_crashes = reg.counter(
+            "service_worker_crashes_total",
+            "Broker worker tasks that died with an unexpected exception",
+        )
+        self._m_worker_restarts = reg.counter(
+            "service_worker_restarts_total",
+            "Crashed broker worker tasks restarted by the supervisor",
+        )
+        self._m_workers_alive = reg.gauge(
+            "service_workers_alive", "Broker worker tasks currently running"
+        )
         for lane in LANES:
             self._m_depth.set(0, lane=lane)
 
@@ -303,6 +317,9 @@ class JobBroker:
             "inflight": self._inflight,
             "jobs_tracked": len(self._jobs),
             "workers": len(self._workers),
+            "workers_alive": self._workers_alive,
+            "worker_crashes": self._worker_crashes,
+            "worker_restarts": self._worker_restarts,
         }
 
     async def start(self) -> None:
@@ -320,8 +337,8 @@ class JobBroker:
                 extra={"event": "queue_restored", "jobs": restored},
             )
         self._workers = [
-            asyncio.ensure_future(self._worker())
-            for _ in range(self.config.workers)
+            asyncio.ensure_future(self._supervised_worker(slot))
+            for slot in range(self.config.workers)
         ]
         if (
             self.config.prune_interval_s > 0
@@ -621,6 +638,66 @@ class JobBroker:
             finally:
                 self._inflight -= 1
                 self._sync_depth()
+
+    async def _supervised_worker(self, slot: int) -> None:
+        """One worker slot, restarted after unexpected crashes.
+
+        :meth:`_execute_job` already absorbs simulation failures into
+        the job's terminal state, so an exception escaping
+        :meth:`_worker` is a broker bug — but one dead slot must not
+        silently halve service throughput forever.  The supervisor
+        restarts the slot up to ``max_worker_restarts`` times, then
+        abandons it; when every slot is dead, ``workers_alive`` hits 0
+        and ``/readyz`` flips to 503.
+        """
+        restarts = 0
+        self._workers_alive += 1
+        self._m_workers_alive.set(self._workers_alive)
+        try:
+            while True:
+                try:
+                    await self._worker()
+                    return  # clean exit: the broker is draining
+                except asyncio.CancelledError:
+                    raise
+                except Exception as error:
+                    self._worker_crashes += 1
+                    self._m_worker_crashes.inc()
+                    if restarts >= self.config.max_worker_restarts:
+                        _log.error(
+                            "worker slot %d abandoned after %d "
+                            "restart(s): %s",
+                            slot,
+                            restarts,
+                            error,
+                            extra={
+                                "event": "service_worker_abandoned",
+                                "slot": slot,
+                                "restarts": restarts,
+                                "error": f"{type(error).__name__}: {error}",
+                            },
+                        )
+                        return
+                    restarts += 1
+                    self._worker_restarts += 1
+                    self._m_worker_restarts.inc()
+                    _log.warning(
+                        "worker slot %d crashed (%s); restarting "
+                        "(%d/%d)",
+                        slot,
+                        error,
+                        restarts,
+                        self.config.max_worker_restarts,
+                        extra={
+                            "event": "service_worker_restarted",
+                            "slot": slot,
+                            "restarts": restarts,
+                            "error": f"{type(error).__name__}: {error}",
+                        },
+                    )
+        finally:
+            self._workers_alive -= 1
+            self._m_workers_alive.set(self._workers_alive)
 
     async def _execute_job(self, job: Job) -> None:
         job.status = "running"

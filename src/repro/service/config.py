@@ -66,6 +66,11 @@ class ServiceConfig:
     completed_jobs_kept:
         Terminal jobs retained in memory for ``GET /v1/jobs/{id}``;
         older ones are answered from the on-disk response store.
+    max_worker_restarts:
+        Times each broker worker slot may be restarted after an
+        unexpected crash before that slot is abandoned.  When every
+        slot is dead the service keeps answering status queries but
+        ``/readyz`` reports 503 so load balancers route elsewhere.
     runner:
         Execution settings for each spec (cache dir, strictness,
         salt).  The broker runs one spec at a time per worker slot, so
@@ -83,6 +88,7 @@ class ServiceConfig:
     prune_interval_s: float = 0.0
     max_cache_mb: float = 512.0
     completed_jobs_kept: int = 512
+    max_worker_restarts: int = 3
     runner: RunnerConfig = field(default_factory=RunnerConfig)
 
     def __post_init__(self) -> None:
@@ -98,6 +104,8 @@ class ServiceConfig:
             raise ConfigError("service max_cache_mb must be >= 0")
         if self.completed_jobs_kept < 1:
             raise ConfigError("service completed_jobs_kept must be >= 1")
+        if self.max_worker_restarts < 0:
+            raise ConfigError("service max_worker_restarts must be >= 0")
 
     @property
     def max_cache_bytes(self) -> int:

@@ -12,7 +12,8 @@ connection, ``Connection: close``) exposing:
 - ``GET /v1/jobs/{id}`` — job status, or the canonical result body
   once done (bit-identical for every caller of the same spec);
 - ``GET /healthz`` (liveness + broker stats), ``GET /readyz``
-  (503 while draining — load balancers stop routing here first);
+  (503 while draining or when every worker slot has crashed past its
+  restart budget — load balancers stop routing here first);
 - ``GET /metrics`` — the service :class:`MetricsRegistry` rendered in
   Prometheus text format.
 
@@ -301,6 +302,18 @@ class ServiceServer:
             if self.broker.draining:
                 return (
                     "/readyz", 503, {"status": "draining"},
+                    {"Retry-After":
+                     f"{self.config.retry_after_s:g}"},
+                )
+            stats = self.broker.stats()
+            if stats["workers"] and not stats["workers_alive"]:
+                # Every worker slot crashed past its restart budget:
+                # queued jobs would never execute, so stop admitting.
+                return (
+                    "/readyz", 503,
+                    {"status": "degraded",
+                     "workers_alive": 0,
+                     "worker_crashes": stats["worker_crashes"]},
                     {"Retry-After":
                      f"{self.config.retry_after_s:g}"},
                 )

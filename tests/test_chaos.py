@@ -1,0 +1,532 @@
+"""Chaos-injection suite: the supervised pool under deliberate faults.
+
+The tentpole invariant: whatever a :class:`~repro.chaos.ChaosPlan`
+throws at the worker fleet — kills, heartbeat stalls, corrupted shared
+memory, poisoned cache entries, torn journals — the grid's surviving
+results are bit-identical to a chaos-free serial reference, and no
+worker processes or ``/dev/shm`` segments are leaked.
+
+Also covers the shm transport unit surface (CRC round trip, corruption
+detection), ChaosPlan parsing/serialization, torn-write recovery for
+both checkpoint journals at every byte offset of the final record, and
+SIGTERM-mid-grid followed by ``--resume``.
+"""
+
+import glob
+import json
+import logging
+import multiprocessing
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.chaos import ChaosPlan, corrupt_cache_entries, truncate_journal
+from repro.common.errors import ConfigError, ShmError
+from repro.graph.generators import ldbc_like_graph
+from repro.runner import (
+    CheckpointJournal,
+    ExperimentRunner,
+    ResultCache,
+    RunnerConfig,
+    trace_digest,
+)
+from repro.runner.engine import evaluation_grid_specs
+from repro.runner.shm import (
+    attach_trace,
+    corrupt_segment,
+    publish_trace,
+    unlink_segment,
+)
+from repro.workloads import get_workload
+
+#: Three-spec tiny grid: enough to keep two workers busy with work to
+#: steal when one dies, small enough to keep the suite fast.
+SPECS = evaluation_grid_specs("tiny")[:3]
+
+#: Base supervised-pool config for chaos runs; short heartbeats so the
+#: hang detector reacts within test timescales.
+POOL_KW = dict(
+    parallel=True,
+    jobs=2,
+    cache_dir=None,
+    heartbeat_interval_s=0.05,
+    heartbeat_timeout_s=2.0,
+)
+
+
+def _results(outcomes):
+    """Canonical result mapping for bit-identity comparison."""
+    return {
+        outcome.spec.workload: {
+            label: result.to_dict()
+            for label, result in outcome.results.items()
+        }
+        for outcome in outcomes
+    }
+
+
+def _run_grid(specs=SPECS, **overrides):
+    config = RunnerConfig(**{**POOL_KW, **overrides})
+    outcomes, report = ExperimentRunner(config).run(specs)
+    return _results(outcomes), report
+
+
+def _assert_no_leaks():
+    """No leftover shm segments, no orphaned pool workers."""
+    if os.path.isdir("/dev/shm"):
+        assert glob.glob("/dev/shm/repro_*") == []
+    orphans = [
+        child
+        for child in multiprocessing.active_children()
+        if child.name.startswith("repro-pool-")
+    ]
+    assert orphans == []
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    """Chaos-free serial run of the shared spec trio."""
+    config = RunnerConfig(parallel=False, cache_dir=None)
+    outcomes, _report = ExperimentRunner(config).run(SPECS)
+    return _results(outcomes)
+
+
+@pytest.fixture(scope="module")
+def bfs_trace():
+    graph = ldbc_like_graph(300, seed=7)
+    return get_workload("BFS").run(graph, num_threads=4).trace
+
+
+# ----------------------------------------------------------------------
+# Shared-memory trace transport
+# ----------------------------------------------------------------------
+
+
+class TestShmTransport:
+    def test_publish_attach_round_trip_preserves_digest(self, bfs_trace):
+        ref = publish_trace(bfs_trace)
+        try:
+            attached = attach_trace(ref)
+        finally:
+            assert unlink_segment(ref.name)
+        assert trace_digest(attached) == trace_digest(bfs_trace)
+        # The mapping is fully detached: unlinking again is a no-op.
+        assert not unlink_segment(ref.name)
+
+    def test_corrupted_segment_fails_crc_check(self, bfs_trace):
+        ref = publish_trace(bfs_trace)
+        try:
+            corrupt_segment(ref.name, random.Random(1))
+            with pytest.raises(ShmError, match="CRC"):
+                attach_trace(ref)
+        finally:
+            unlink_segment(ref.name)
+
+    def test_attach_after_unlink_raises_shm_error(self, bfs_trace):
+        ref = publish_trace(bfs_trace)
+        assert unlink_segment(ref.name)
+        with pytest.raises(ShmError):
+            attach_trace(ref)
+
+
+# ----------------------------------------------------------------------
+# ChaosPlan parsing and serialization
+# ----------------------------------------------------------------------
+
+
+class TestChaosPlan:
+    def test_json_round_trip(self):
+        plan = ChaosPlan(
+            seed=11,
+            kill_worker=1,
+            kill_after_jobs=2,
+            kill_after_trace=True,
+            corrupt_shm=True,
+            poison_workload="BFS",
+        )
+        rebuilt = ChaosPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert rebuilt == plan
+
+    def test_from_spec_grammar(self):
+        plan = ChaosPlan.from_spec(
+            "kill=0:1:trace,stall=1:0:5,shm=1,cache=2,journal=9,"
+            "poison=DC,seed=3"
+        )
+        assert plan.kill_worker == 0
+        assert plan.kill_after_jobs == 1
+        assert plan.kill_after_trace
+        assert plan.stall_worker == 1
+        assert plan.stall_seconds == 5.0
+        assert plan.corrupt_shm
+        assert plan.corrupt_cache_entries == 2
+        assert plan.truncate_journal_bytes == 9
+        assert plan.poison_workload == "DC"
+        assert plan.seed == 3
+        assert plan.enabled
+        assert "kill worker 0" in plan.describe()
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "kill",  # not key=value
+            "kill=x",  # bad int
+            "kill=0:1:oops",  # unknown modifier
+            "stall=0:0:0",  # stall with no duration
+            "nonsense=1",  # unknown key
+        ],
+    )
+    def test_bad_specs_raise_config_error(self, spec):
+        with pytest.raises(ConfigError):
+            ChaosPlan.from_spec(spec)
+
+    def test_default_plan_is_disabled(self):
+        plan = ChaosPlan()
+        assert not plan.enabled
+        assert plan.describe() == "chaos-free"
+
+    def test_rng_streams_are_deterministic_and_distinct(self):
+        plan = ChaosPlan(seed=5)
+        assert plan.rng("shm", 0).random() == plan.rng("shm", 0).random()
+        assert plan.rng("shm", 0).random() != plan.rng("shm", 1).random()
+
+
+# ----------------------------------------------------------------------
+# Grid-level chaos: bit-identity under every fault class
+# ----------------------------------------------------------------------
+
+
+class TestChaosGrid:
+    def test_clean_supervised_run_matches_serial(self, serial_reference):
+        results, report = _run_grid()
+        assert results == serial_reference
+        assert report.worker_crashes == 0
+        assert report.pool_restarts == 0
+        assert not report.fell_back
+        _assert_no_leaks()
+
+    def test_worker_kill_recovers_bit_identical(self, serial_reference):
+        results, report = _run_grid(
+            chaos=ChaosPlan(kill_worker=0, kill_after_jobs=0, seed=7)
+        )
+        assert results == serial_reference
+        assert report.worker_crashes >= 1
+        assert report.pool_restarts >= 1
+        assert report.failures == []
+        assert "worker crash(es)" in report.summary_line()
+        _assert_no_leaks()
+
+    def test_kill_after_trace_resumes_published_trace(
+        self, serial_reference, caplog
+    ):
+        with caplog.at_level(logging.WARNING, logger="repro.runner.pool"):
+            results, report = _run_grid(
+                chaos=ChaosPlan(kill_worker=0, kill_after_trace=True, seed=7)
+            )
+        assert results == serial_reference
+        assert report.worker_crashes >= 1
+        # The re-dispatch shipped the dead worker's published trace, so
+        # the replacement attached it instead of re-tracing.
+        assert any(
+            getattr(record, "event", "") == "job_redispatched"
+            and getattr(record, "resumed", False)
+            for record in caplog.records
+        )
+        _assert_no_leaks()
+
+    def test_heartbeat_stall_is_killed_as_hang(self):
+        # The full tiny grid (not the shared trio): with this much work
+        # queued, worker 0 always receives a job no matter how the
+        # spawn/readiness race shakes out, so the stall reliably fires.
+        specs = evaluation_grid_specs("tiny")
+        serial_config = RunnerConfig(parallel=False, cache_dir=None)
+        reference = _results(ExperimentRunner(serial_config).run(specs)[0])
+        results, report = _run_grid(
+            specs=specs,
+            heartbeat_timeout_s=0.6,
+            chaos=ChaosPlan(stall_worker=0, stall_seconds=60.0, seed=7),
+        )
+        assert results == reference
+        assert report.worker_crashes >= 1
+        assert report.failures == []
+        _assert_no_leaks()
+
+    def test_shm_corruption_falls_back_to_spill(self, serial_reference):
+        results, report = _run_grid(
+            chaos=ChaosPlan(corrupt_shm=True, seed=7)
+        )
+        assert results == serial_reference
+        assert report.shm_attach_failures >= 1
+        assert report.failures == []
+        assert "shm fallback(s)" in report.summary_line()
+        _assert_no_leaks()
+
+    def test_poisoned_spec_is_quarantined(self, serial_reference):
+        results, report = _run_grid(
+            allow_partial=True,
+            chaos=ChaosPlan(poison_workload="BFS", seed=7),
+        )
+        expected = {
+            code: value
+            for code, value in serial_reference.items()
+            if code != "BFS"
+        }
+        assert results == expected
+        assert [failure.kind for failure in report.failures] == ["poisoned"]
+        assert report.worker_crashes >= 2
+        _assert_no_leaks()
+
+    def test_corrupted_cache_entries_read_as_misses(
+        self, serial_reference, tmp_path
+    ):
+        cache_dir = str(tmp_path / "cache")
+        warm, _ = _run_grid(cache_dir=cache_dir)
+        assert warm == serial_reference
+        results, report = _run_grid(
+            cache_dir=cache_dir,
+            chaos=ChaosPlan(corrupt_cache_entries=2, seed=7),
+        )
+        assert results == serial_reference
+        assert report.failures == []
+        # The corrupted entries forced fresh simulations instead of
+        # serving damaged payloads.
+        assert report.simulations >= 1
+        _assert_no_leaks()
+
+    def test_journal_truncation_chaos_then_resume_completes(
+        self, serial_reference, tmp_path
+    ):
+        cache_dir = str(tmp_path / "cache")
+        first, _ = _run_grid(
+            cache_dir=cache_dir,
+            chaos=ChaosPlan(truncate_journal_bytes=10, seed=7),
+        )
+        assert first == serial_reference
+        journal = CheckpointJournal(cache_dir)
+        completed = journal.completed()
+        assert len(completed) < len(SPECS)  # the tear lost the tail
+        # Resume re-runs exactly the specs the tear un-journalled and
+        # returns outcomes for those alone; each must match the
+        # reference bit-for-bit.
+        results, report = _run_grid(cache_dir=cache_dir, resume=True)
+        assert len(results) == len(SPECS) - len(completed)
+        for code, value in results.items():
+            assert value == serial_reference[code]
+        assert report.failures == []
+        assert len(journal.completed()) >= len(completed)
+        _assert_no_leaks()
+
+
+# ----------------------------------------------------------------------
+# Torn-write recovery at every byte offset
+# ----------------------------------------------------------------------
+
+
+class TestTornWriteRecovery:
+    def test_runner_journal_tolerates_any_tear_of_last_record(
+        self, tmp_path
+    ):
+        journal = CheckpointJournal(tmp_path)
+        keys = [f"{c}" * 64 for c in "abc"]
+        for key in keys:
+            journal.mark(key, job_id=f"job-{key[0]}")
+        content = journal.path.read_bytes()
+        last_start = content.rstrip(b"\n").rfind(b"\n") + 1
+        for offset in range(last_start, len(content) + 1):
+            journal.path.write_bytes(content[:offset])
+            completed = journal.completed()
+            assert set(keys[:2]) <= completed  # intact lines survive
+            # The torn record only counts once its closing brace is on
+            # disk (the trailing newline is immaterial).
+            assert (keys[2] in completed) == (offset >= len(content) - 1)
+
+    def test_service_queue_tolerates_any_tear_of_last_record(
+        self, tmp_path
+    ):
+        from repro.service import (
+            JobBroker,
+            QUEUE_CHECKPOINT_FILENAME,
+            ServiceConfig,
+        )
+        from repro.sim.config import SystemConfig
+        from repro.runner import ExperimentSpec, spec_key
+
+        config = ServiceConfig(
+            runner=RunnerConfig(cache_dir=str(tmp_path))
+        )
+        specs = [
+            ExperimentSpec.for_workload(
+                code, "tiny", modes=[SystemConfig.baseline()]
+            )
+            for code in ("BFS", "DC", "kCore")
+        ]
+        lines = [
+            json.dumps(
+                {
+                    "spec": spec_key(spec, config.runner.cache_salt),
+                    "job_id": spec.job_id,
+                    "priority": "batch",
+                    "request": spec.to_dict(),
+                }
+            ).encode("utf-8")
+            + b"\n"
+            for spec in specs
+        ]
+        path = tmp_path / QUEUE_CHECKPOINT_FILENAME
+        intact = b"".join(lines[:2])
+        total = intact + lines[2]
+        for offset in range(len(intact), len(total) + 1):
+            path.write_bytes(total[:offset])
+            broker = JobBroker(config)
+            restored = broker._restore_checkpoint()
+            assert restored >= 2  # intact lines always come back
+            assert (restored == 3) == (offset >= len(total) - 1)
+            assert not path.exists()  # restore always clears the file
+
+    def test_resume_after_torn_journal_reruns_only_the_tail(
+        self, tmp_path
+    ):
+        cache_dir = str(tmp_path / "cache")
+        config = RunnerConfig(parallel=False, cache_dir=cache_dir)
+        reference = _results(ExperimentRunner(config).run(SPECS)[0])
+        journal = CheckpointJournal(cache_dir)
+        content = journal.path.read_bytes()
+        last_start = content.rstrip(b"\n").rfind(b"\n") + 1
+        # Tear mid-way through the last record: a representative offset
+        # of the per-byte sweep above, driven through the full grid.
+        journal.path.write_bytes(
+            content[: last_start + (len(content) - last_start) // 2]
+        )
+        resume_config = RunnerConfig(
+            parallel=False, cache_dir=cache_dir, resume=True
+        )
+        outcomes, report = ExperimentRunner(resume_config).run(SPECS)
+        statuses = [record.status for record in report.jobs]
+        assert statuses.count("skipped") == 2
+        assert statuses.count("done") == 1
+        # Only the torn-off spec re-runs; its results match the
+        # reference bit-for-bit.
+        results = _results(outcomes)
+        assert len(results) == 1
+        for code, value in results.items():
+            assert value == reference[code]
+
+
+# ----------------------------------------------------------------------
+# Parent-side chaos hooks (unit level)
+# ----------------------------------------------------------------------
+
+
+class TestChaosHooks:
+    def test_corrupt_cache_entries_flips_bytes_in_place(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a" * 64, {"v": 1})
+        cache.put("b" * 64, {"v": 2})
+        before = {
+            path.name: path.read_bytes()
+            for path in sorted((tmp_path / "objects").glob("*.json"))
+        }
+        flipped = corrupt_cache_entries(
+            str(tmp_path), ChaosPlan(corrupt_cache_entries=1, seed=3)
+        )
+        assert flipped == 1
+        after = {
+            path.name: path.read_bytes()
+            for path in sorted((tmp_path / "objects").glob("*.json"))
+        }
+        assert sum(before[name] != after[name] for name in before) == 1
+        # The damaged entry must read as a miss, never as garbage.
+        damaged = [n for n in before if before[n] != after[n]][0]
+        assert cache.get(damaged[: -len(".json")]) is None
+
+    def test_truncate_journal_drops_tail_bytes(self, tmp_path):
+        journal = CheckpointJournal(tmp_path)
+        journal.mark("x" * 64)
+        size = journal.path.stat().st_size
+        truncate_journal(str(journal.path), 5)
+        assert journal.path.stat().st_size == size - 5
+        assert journal.completed() == set()  # torn record is ignored
+
+
+# ----------------------------------------------------------------------
+# SIGTERM mid-grid, then --resume
+# ----------------------------------------------------------------------
+
+
+_GRID_SCRIPT = """
+import sys
+from repro.runner.engine import ExperimentRunner, evaluation_grid_specs
+from repro.runner.spec import RunnerConfig
+
+# The __main__ guard is mandatory: spawned pool workers re-import this
+# module, and an unguarded grid launch would fork-bomb.
+if __name__ == "__main__":
+    config = RunnerConfig(
+        parallel=True,
+        jobs=2,
+        cache_dir=sys.argv[1],
+        resume="--resume" in sys.argv,
+        heartbeat_interval_s=0.05,
+    )
+    ExperimentRunner(config).run(evaluation_grid_specs("tiny"))
+    print("GRID-DONE")
+"""
+
+
+class TestSigtermMidGrid:
+    def test_sigterm_shuts_down_cleanly_and_resume_completes(
+        self, tmp_path
+    ):
+        script = tmp_path / "grid.py"
+        script.write_text(_GRID_SCRIPT)
+        cache_dir = tmp_path / "cache"
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        journal = CheckpointJournal(cache_dir)
+
+        proc = subprocess.Popen(
+            [sys.executable, str(script), str(cache_dir)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+        )
+        try:
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if journal.completed():
+                    break
+                assert proc.poll() is None, (
+                    "grid exited before SIGTERM could be delivered"
+                )
+                time.sleep(0.05)
+            else:
+                pytest.fail("no checkpoint appeared before the deadline")
+            proc.send_signal(signal.SIGTERM)
+            _stdout, stderr = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode != 0
+        assert b"terminated by SIGTERM" in stderr
+        _assert_no_leaks()
+        checkpointed = journal.completed()
+        assert checkpointed  # mid-grid progress survived the kill
+
+        resumed = subprocess.run(
+            [sys.executable, str(script), str(cache_dir), "--resume"],
+            capture_output=True,
+            env=env,
+            timeout=300,
+        )
+        assert resumed.returncode == 0, resumed.stderr.decode()
+        assert b"GRID-DONE" in resumed.stdout
+        # Every spec (including those finished pre-kill) is journalled.
+        assert journal.completed() >= checkpointed
+        _assert_no_leaks()

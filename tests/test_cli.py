@@ -117,6 +117,47 @@ class TestCli:
         assert main(["cache", "--cache-dir", cache_dir, "--json"]) == 0
         assert json.loads(capsys.readouterr().out)["entries"] == 0
 
+    def test_cache_verify_exit_code_reflects_quarantine(
+        self, tmp_path, capsys
+    ):
+        cache_dir = str(tmp_path / "cache")
+        main(["run", "--scale", "tiny", "--no-parallel",
+              "--cache-dir", cache_dir])
+        capsys.readouterr()
+
+        # A healthy cache verifies clean and exits 0.
+        assert main(["cache", "--cache-dir", cache_dir,
+                     "--verify", "--json"]) == 0
+        outcome = json.loads(capsys.readouterr().out)
+        assert outcome["quarantined"] == 0
+
+        # Corrupt one entry: verify quarantines it and exits 1 so CI
+        # health checks catch silent cache damage.
+        victim = sorted((tmp_path / "cache" / "objects").glob("*.json"))[0]
+        victim.write_bytes(b"\xff not json \xff")
+        assert main(["cache", "--cache-dir", cache_dir,
+                     "--verify", "--json"]) == 1
+        outcome = json.loads(capsys.readouterr().out)
+        assert outcome["quarantined"] == 1
+
+        # The bad entry was moved aside; a re-verify is clean again.
+        assert main(["cache", "--cache-dir", cache_dir,
+                     "--verify"]) == 0
+
+    def test_run_grid_rejects_bad_chaos_spec(self, capsys):
+        assert main(["run", "--chaos", "explode=yes"]) == 2
+        assert "chaos" in capsys.readouterr().err
+
+    def test_run_grid_with_chaos_kill_completes(self, tmp_path, capsys):
+        args = [
+            "run", "--scale", "tiny", "--no-cache", "--jobs", "2",
+            "--chaos", "kill=0:0,seed=7", "--json",
+        ]
+        assert main(args) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["runner"]["failures"] == []
+        assert set(report["workloads"]) >= {"BFS", "PRank"}
+
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])

@@ -266,9 +266,13 @@ class TestRunnerExecution:
             engine_module, "_make_executor", lambda workers: _BrokenPool()
         )
         specs = [_spec("DC"), _spec("kCore")]
-        config = RunnerConfig(jobs=2, parallel=True, cache_dir=None)
+        config = RunnerConfig(
+            jobs=2, parallel=True, cache_dir=None, pool="executor"
+        )
         outcomes, report = ExperimentRunner(config).run(specs)
         assert report.fell_back
+        assert report.pool_restarts == 1
+        assert "1 restart(s)" in report.summary_line()
         assert len(outcomes) == len(specs)
         assert all(job.status == "done" for job in report.jobs)
         assert all(job.executor == "fallback" for job in report.jobs)
@@ -370,6 +374,7 @@ class TestRunnerResilience:
             job_timeout_s=0.01,
             backoff_base_s=0.5,
             backoff_factor=2.0,
+            pool="executor",
             **config_kwargs,
         )
         runner = ExperimentRunner(config, sleep=sleeps.append)
@@ -389,8 +394,19 @@ class TestRunnerResilience:
         assert all(f.kind == "timeout" for f in report.failures)
         assert all(f.attempts == 3 for f in report.failures)
         assert all(job.status == "failed" for job in report.jobs)
-        # Exponential backoff between attempts, per job.
-        assert sleeps == [0.5, 1.0, 0.5, 1.0]
+        # Full-jitter exponential backoff between attempts, per job:
+        # each delay is uniform in [0, base * factor**(n-1)].
+        assert len(sleeps) == 4
+        caps = [0.5, 1.0, 0.5, 1.0]
+        assert all(0.0 <= s <= c for s, c in zip(sleeps, caps))
+        # Jitter is seeded from the spec key, so a rerun of the same
+        # grid draws the same delays (reproducible retry schedules).
+        rerun, rerun_sleeps = self._runner(
+            monkeypatch, flaky_attempts=99, job_retries=2,
+            allow_partial=True,
+        )
+        rerun.run(specs)
+        assert rerun_sleeps == sleeps
         as_json = json.loads(json.dumps(report.to_dict()))
         assert as_json["failures"][0]["kind"] == "timeout"
         assert "FAILED" in report.summary()
@@ -405,7 +421,8 @@ class TestRunnerResilience:
         assert report.failures == []
         assert all(job.status == "done" for job in report.jobs)
         assert all(job.attempts == 2 for job in report.jobs)
-        assert sleeps == [0.5, 0.5]
+        assert len(sleeps) == 2
+        assert all(0.0 <= s <= 0.5 for s in sleeps)
 
     def test_timeout_without_allow_partial_raises(self, monkeypatch):
         runner, _sleeps = self._runner(

@@ -838,3 +838,88 @@ class TestCanonicalJson:
         payload = {"cycles": 202454.21666667177, "n": 3}
         rebuilt = json.loads(canonical_json(payload))
         assert canonical_json(rebuilt) == canonical_json(payload)
+
+
+# ----------------------------------------------------------------------
+# Worker supervision (crash recovery inside the broker)
+# ----------------------------------------------------------------------
+
+
+class TestWorkerSupervision:
+    def test_crashed_worker_restarts_and_keeps_serving(self):
+        """An exception escaping a worker slot restarts the slot.
+
+        ``_execute_job`` absorbs simulation failures, so an escaping
+        exception is a broker bug — the supervisor must restart the
+        slot instead of silently losing service capacity.
+        """
+        execute = CountingExecute()
+
+        async def main():
+            broker = await started_broker(
+                service_config(workers=1, max_worker_restarts=2),
+                execute,
+            )
+            real = broker._execute_job
+
+            async def crashing(job):
+                if job.spec.workload == "DC":
+                    raise RuntimeError("injected worker bug")
+                await real(job)
+
+            broker._execute_job = crashing
+            await broker.submit(make_spec("DC"))
+            healthy, _ = await broker.submit(make_spec("BFS"))
+            await asyncio.wait_for(healthy.done_event.wait(), timeout=10)
+            stats = broker.stats()
+            await broker.drain()
+            return healthy, stats
+
+        healthy, stats = asyncio.run(main())
+        assert healthy.status == "done"
+        assert stats["worker_crashes"] == 1
+        assert stats["worker_restarts"] == 1
+        assert stats["workers_alive"] == 1
+
+    def test_abandoned_slots_flip_readyz_to_503(self):
+        """All slots dead past the restart budget => degraded, not ready."""
+        execute = CountingExecute()
+
+        async def main():
+            config = service_config(workers=1, max_worker_restarts=0)
+            broker = JobBroker(config, execute=execute)
+
+            async def crashing(job):
+                raise RuntimeError("injected worker bug")
+
+            broker._execute_job = crashing
+            server = ServiceServer(config, broker=broker)
+            await server.start()
+            try:
+                before = await http_request(
+                    server.port, "GET", "/readyz"
+                )
+                await broker.submit(make_spec("DC"))
+                for _ in range(500):
+                    if broker.stats()["workers_alive"] == 0:
+                        break
+                    await asyncio.sleep(0.01)
+                after = await http_request(server.port, "GET", "/readyz")
+                metrics = await http_request(
+                    server.port, "GET", "/metrics"
+                )
+                return before, after, metrics, broker.stats()
+            finally:
+                await server.stop()
+
+        before, after, metrics, stats = asyncio.run(main())
+        assert before[0] == 200
+        assert after[0] == 503
+        degraded = json.loads(after[2])
+        assert degraded["status"] == "degraded"
+        assert degraded["workers_alive"] == 0
+        assert stats["worker_crashes"] == 1
+        assert stats["worker_restarts"] == 0
+        text = metrics[2].decode()
+        assert "service_worker_crashes_total" in text
+        assert "service_workers_alive" in text
