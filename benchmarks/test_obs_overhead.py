@@ -16,7 +16,8 @@ is exact.
 import time
 
 from repro.graph.generators import ldbc_like_graph
-from repro.obs import NullRecorder, TimelineRecorder
+from repro.obs import CallbackPublisher, NullRecorder, TimelineRecorder
+from repro.obs.progress import NullPublisher
 from repro.sim.config import SystemConfig
 from repro.sim.system import simulate
 from repro.workloads.registry import get_workload
@@ -71,3 +72,49 @@ def test_obs_null_recorder_overhead(benchmark):
     )
     # ...and recording, however slow, must never change the outcome.
     assert plain.to_dict() == recorded.to_dict()
+
+
+def test_obs_null_publisher_overhead(benchmark):
+    """The progress bus obeys the same contract as the recorder."""
+    graph = ldbc_like_graph(2_000, seed=7)
+    run = get_workload("BFS").run(graph, num_threads=8)
+    config = SystemConfig.graphpim()
+    frames = []
+
+    def measure():
+        plain_s, plain = _best_of(lambda: simulate(run.trace, config))
+        null_s, nulled = _best_of(
+            lambda: simulate(
+                run.trace, config, publisher=NullPublisher()
+            )
+        )
+        published_s, published = _best_of(
+            lambda: simulate(
+                run.trace,
+                config,
+                publisher=CallbackPublisher(
+                    frames.append, interval=10_000
+                ),
+            )
+        )
+        return plain_s, null_s, published_s, plain, nulled, published
+
+    plain_s, null_s, published_s, plain, nulled, published = (
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+    )
+    print()
+    print(
+        f"  plain={plain_s * 1e3:.1f}ms  null={null_s * 1e3:.1f}ms "
+        f"({null_s / plain_s:.2f}x)  "
+        f"published={published_s * 1e3:.1f}ms "
+        f"({published_s / plain_s:.2f}x)"
+    )
+    # The NullPublisher must be observationally free...
+    assert plain.to_dict() == nulled.to_dict()
+    assert null_s <= plain_s * NULL_OVERHEAD_BUDGET, (
+        f"NullPublisher path {null_s / plain_s:.2f}x slower than "
+        f"uninstrumented (budget {NULL_OVERHEAD_BUDGET}x)"
+    )
+    # ...and publishing, however chatty, must never change the outcome.
+    assert plain.to_dict() == published.to_dict()
+    assert frames, "an active publisher produced no frames"

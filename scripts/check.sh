@@ -290,6 +290,18 @@ else
     run_or_fail python scripts/service_smoke.py
 fi
 
+step "repro serve (streaming smoke: SSE watch to terminal)"
+# Boots the service again, submits a job, and consumes the SSE event
+# stream end-to-end: at least one live progress frame must arrive
+# before the terminal done event, and the stream health metric
+# families must appear on /metrics before SIGTERM.
+if command -v timeout >/dev/null 2>&1; then
+    run_or_fail timeout --signal=KILL 420 \
+        python scripts/stream_smoke.py
+else
+    run_or_fail python scripts/stream_smoke.py
+fi
+
 echo
 if [ "$failures" -ne 0 ]; then
     echo "check.sh: $failures step(s) FAILED"

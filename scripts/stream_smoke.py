@@ -1,0 +1,127 @@
+"""Live-telemetry smoke test for ``repro serve``, driven by check.sh.
+
+Boots the real service as a subprocess on an ephemeral port, submits a
+job, and watches it over the SSE endpoint instead of polling:
+
+1. start ``python -m repro serve --port 0`` and parse the announce
+   line for the bound port;
+2. wait for ``/readyz``;
+3. submit one job and consume ``GET /v1/jobs/{id}/events`` until the
+   stream ends — requiring at least one ``progress`` frame (with a
+   schema-valid ProgressSnapshot payload) and a terminal ``done``
+   event, in order;
+4. scrape ``/metrics`` and require the stream health families with
+   non-zero event counts;
+5. send SIGTERM and require exit code 0 within the drain window.
+
+Exit code 0 means every step passed.  Run directly::
+
+    PYTHONPATH=src python scripts/stream_smoke.py
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.obs.progress import ProgressSnapshot
+from repro.service.client import ServiceClient
+
+
+def fail(message):
+    print(f"stream smoke FAILED: {message}", file=sys.stderr)
+    return 1
+
+
+def main():
+    with tempfile.TemporaryDirectory(prefix="repro-stream-smoke-") as tmp:
+        cache_dir = os.path.join(tmp, "cache")
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0",
+                "--workers", "1",
+                "--cache-dir", cache_dir,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            return drive(process)
+        finally:
+            if process.poll() is None:
+                process.kill()
+            process.wait(timeout=10)
+
+
+def drive(process):
+    # 1. the announce line carries the ephemeral port
+    line = process.stdout.readline()
+    match = re.search(r"listening on http://([\d.]+):(\d+)", line)
+    if not match:
+        return fail(f"unexpected announce line: {line!r}")
+    host, port = match.group(1), int(match.group(2))
+    client = ServiceClient(f"http://{host}:{port}", client_id="smoke")
+
+    # 2. readiness
+    deadline = time.monotonic() + 30
+    while not client.ready():
+        if time.monotonic() > deadline:
+            return fail("service never became ready")
+        time.sleep(0.1)
+    print(f"stream smoke: ready on port {port}")
+
+    # 3. submit, then watch the SSE stream to the terminal event
+    ticket = client.submit(
+        workload="BFS", scale="tiny", modes=["baseline", "graphpim"]
+    )
+    names = []
+    progress_frames = 0
+    for event in client.events(ticket.job_id, timeout_s=240):
+        names.append(event.event)
+        if event.event == "progress":
+            progress_frames += 1
+            ProgressSnapshot.from_dict(event.data)  # schema-valid
+        if event.terminal:
+            break
+    if progress_frames < 1:
+        return fail(f"no progress frame before terminal: {names}")
+    if not names or names[-1] != "done":
+        return fail(f"stream did not end with done: {names}")
+    print(
+        f"stream smoke: {progress_frames} progress frame(s), "
+        f"terminal done (events: {' '.join(names)})"
+    )
+
+    # 4. stream health metrics
+    metrics = client.metrics_text()
+    for family in (
+        "service_stream_subscribers",
+        "service_stream_events_total",
+        "service_stream_dropped_total",
+    ):
+        if family not in metrics:
+            return fail(f"/metrics is missing {family}")
+    if 'service_stream_events_total{event="done"} 1' not in metrics:
+        return fail("done event not counted in stream metrics")
+    print("stream smoke: /metrics exposes the stream families")
+
+    # 5. SIGTERM drains and exits 0
+    process.send_signal(signal.SIGTERM)
+    try:
+        code = process.wait(timeout=60)
+    except subprocess.TimeoutExpired:
+        return fail("service did not exit within 60s of SIGTERM")
+    if code != 0:
+        print(process.stdout.read(), file=sys.stderr)
+        return fail(f"service exited {code} after SIGTERM")
+    print("stream smoke: SIGTERM drain exited 0")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -211,6 +211,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="grid mode: chaos-injection plan for resilience testing, "
         "e.g. kill=0:1,seed=7 (kill/stall/shm/cache/journal/poison)",
     )
+    run.add_argument(
+        "--progress",
+        action="store_true",
+        help="grid mode: live one-line progress on stderr fed by "
+        "in-flight simulation snapshots (observability only; never "
+        "part of cache identity)",
+    )
+    run.add_argument(
+        "--progress-interval",
+        type=int,
+        default=20_000,
+        metavar="EVENTS",
+        help="with --progress: snapshot cadence in retired simulation "
+        "events (default: 20000)",
+    )
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the persistent result cache"
@@ -406,6 +421,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
 
+    watch = sub.add_parser(
+        "watch",
+        help="stream a job's live events (SSE) from a running service",
+    )
+    watch.add_argument("job_id", help="job id from `repro submit`")
+    watch.add_argument(
+        "--url",
+        default=None,
+        help="service base URL (default: $REPRO_SERVICE_URL or "
+        "http://127.0.0.1:8477)",
+    )
+    watch.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="overall watch budget, reconnects included (default: 600)",
+    )
+    watch.add_argument(
+        "--json",
+        action="store_true",
+        help="print one JSON line per event instead of the human form",
+    )
+
     trace = sub.add_parser("trace", help="trace a workload to a .npz file")
     trace.add_argument("workload")
     trace.add_argument("--vertices", type=int, default=2_000)
@@ -516,10 +555,11 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument(
         "--diff",
         nargs=2,
-        choices=sorted(_MODE_CTORS),
         metavar=("A", "B"),
         default=None,
-        help="simulate under two modes and print per-series deltas",
+        help="print per-series deltas between two metric sources: a "
+        "mode preset (simulated), a saved snapshot JSON file, or - "
+        "for a snapshot piped on stdin",
     )
     metrics.add_argument(
         "--faults",
@@ -705,6 +745,9 @@ def _cmd_run_grid(args) -> int:
         from repro.chaos import ChaosPlan
 
         extra["chaos"] = ChaosPlan.from_spec(args.chaos)
+    live = args.progress and not args.json
+    if live:
+        extra["progress_interval_events"] = args.progress_interval
     config = RunnerConfig(
         scale=args.scale,
         strict=args.strict,
@@ -723,6 +766,8 @@ def _cmd_run_grid(args) -> int:
     )
 
     def progress(record) -> None:
+        if live:
+            _clear_live_line()
         print(
             f"  {record.job_id:16s} {record.status:6s} "
             f"sim={record.modes_simulated} hit={record.modes_cached} "
@@ -731,11 +776,34 @@ def _cmd_run_grid(args) -> int:
             flush=True,
         )
 
+    def _clear_live_line() -> None:
+        sys.stderr.write("\r" + " " * 78 + "\r")
+        sys.stderr.flush()
+
+    on_frame = None
+    if live:
+
+        def on_frame(index: int, snap) -> None:
+            # One carriage-return-overwritten status line on stderr:
+            # the most recent snapshot any in-flight job published.
+            name = snap.label or snap.phase
+            line = (
+                f"  job {index}: {name} {snap.fraction * 100.0:5.1f}% "
+                f"({snap.events_done}/{snap.events_total} events)"
+            )
+            if snap.eta_s is not None:
+                line += f" eta {snap.eta_s:.0f}s"
+            sys.stderr.write("\r" + line[:77].ljust(78))
+            sys.stderr.flush()
+
     reports, runner_report = run_evaluation_grid(
         config,
         progress=None if args.json else progress,
         faults=_parse_faults(args),
+        on_frame=on_frame,
     )
+    if live:
+        _clear_live_line()
     if args.json:
         print(
             json.dumps(
@@ -951,6 +1019,70 @@ def _cmd_status(args) -> int:
     return 0
 
 
+def _cmd_watch(args) -> int:
+    import time as _time
+
+    from repro.common.errors import ServiceError
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(_service_url(args))
+    deadline = _time.monotonic() + args.timeout
+    last_id: int | None = None
+    while True:
+        try:
+            for event in client.events(
+                args.job_id, last_event_id=last_id
+            ):
+                last_id = event.event_id
+                if args.json:
+                    print(
+                        json.dumps(
+                            {
+                                "id": event.event_id,
+                                "event": event.event,
+                                "data": event.data,
+                            }
+                        ),
+                        flush=True,
+                    )
+                elif event.event == "progress":
+                    data = event.data
+                    done = data.get("events_done", 0)
+                    total = data.get("events_total", 0)
+                    pct = 100.0 * done / total if total else 0.0
+                    line = (
+                        f"progress     {pct:5.1f}%  "
+                        f"{done}/{total} events"
+                    )
+                    name = data.get("label") or data.get("phase", "")
+                    if name:
+                        line += f"  {name}"
+                    eta = data.get("eta_s")
+                    if eta is not None:
+                        line += f"  eta {eta:.0f}s"
+                    print(line, flush=True)
+                else:
+                    detail = event.data.get("status", "")
+                    if event.event == "failed":
+                        detail = event.data.get("error", "") or detail
+                    print(f"{event.event:12s} {detail}", flush=True)
+                if event.terminal:
+                    return 1 if event.event == "failed" else 0
+        except ServiceError as error:
+            # Unknown job ids are final; a torn stream is retried with
+            # Last-Event-ID resume below.
+            if "unknown job" in str(error):
+                raise
+        if _time.monotonic() >= deadline:
+            print(
+                f"repro watch: no terminal event after "
+                f"{args.timeout:g}s",
+                file=sys.stderr,
+            )
+            return 2
+        _time.sleep(0.5)
+
+
 def _cmd_trace(args) -> int:
     workload = get_workload(args.workload)
     graph = _make_graph(args)
@@ -1065,18 +1197,55 @@ def _cmd_obs_timeline(args) -> int:
     return 0
 
 
+def _metrics_operand(args, operand: str, trace):
+    """Resolve one ``--diff`` operand to ``(snapshot, name, trace)``.
+
+    A mode preset simulates the spec's trace under that mode; anything
+    else is read as a serialized snapshot — a JSON file path, or ``-``
+    for stdin — and schema-validated before use.
+    """
+    from repro.common.errors import ConfigError
+    from repro.obs import MetricsRegistry
+
+    if operand in _MODE_CTORS:
+        if trace is None:
+            trace = _trace_for_spec(args)
+        snapshot = simulate(
+            trace, _obs_config(args, operand)
+        ).metrics_snapshot()
+        return snapshot, operand, trace
+    source = "stdin" if operand == "-" else operand
+    try:
+        raw = (
+            sys.stdin.read()
+            if operand == "-"
+            else open(operand, encoding="utf-8").read()
+        )
+        snapshot = json.loads(raw)
+    except json.JSONDecodeError as error:
+        raise ConfigError(
+            f"{source} is not valid JSON: {error}"
+        ) from error
+    if not isinstance(snapshot, dict):
+        raise ConfigError(f"{source}: snapshot must be a JSON object")
+    MetricsRegistry.from_snapshot(snapshot)  # schema gate
+    name = "stdin" if operand == "-" else os.path.basename(operand)
+    return snapshot, name, trace
+
+
 def _cmd_obs_metrics(args) -> int:
     from repro.obs import diff_snapshots, flatten_snapshot
 
-    trace = _trace_for_spec(args)
     if args.diff is not None:
-        mode_a, mode_b = args.diff
-        snap_a = simulate(
-            trace, _obs_config(args, mode_a)
-        ).metrics_snapshot()
-        snap_b = simulate(
-            trace, _obs_config(args, mode_b)
-        ).metrics_snapshot()
+        # Operands may be mode presets, snapshot files, or "-"; the
+        # trace is only built when a mode actually needs simulating.
+        trace = None
+        snap_a, mode_a, trace = _metrics_operand(
+            args, args.diff[0], trace
+        )
+        snap_b, mode_b, trace = _metrics_operand(
+            args, args.diff[1], trace
+        )
         rows = diff_snapshots(snap_a, snap_b)
         if args.json:
             print(
@@ -1105,7 +1274,7 @@ def _cmd_obs_metrics(args) -> int:
                 f"{delta:+16.6g}"
             )
         return 0
-    result = simulate(trace, _obs_config(args, args.mode))
+    result = simulate(_trace_for_spec(args), _obs_config(args, args.mode))
     snapshot = result.metrics_snapshot()
     if args.json:
         print(json.dumps(snapshot, indent=2))
@@ -1201,6 +1370,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "status": _cmd_status,
+    "watch": _cmd_watch,
     "trace": _cmd_trace,
     "simulate": _cmd_simulate,
     "experiment": _cmd_experiment,

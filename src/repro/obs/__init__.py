@@ -40,6 +40,16 @@ from repro.obs.metrics import (
     flatten_snapshot,
     render_prometheus,
 )
+from repro.obs.progress import (
+    DEFAULT_PROGRESS_INTERVAL,
+    NULL_PUBLISHER,
+    PROGRESS_SCHEMA_VERSION,
+    BufferedPublisher,
+    CallbackPublisher,
+    LabelledPublisher,
+    NullPublisher,
+    ProgressSnapshot,
+)
 from repro.obs.timeline import (
     NULL_RECORDER,
     TIMELINE_SCHEMA_VERSION,
@@ -50,15 +60,23 @@ from repro.obs.timeline import (
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "DEFAULT_PROGRESS_INTERVAL",
     "METRICS_SCHEMA_VERSION",
+    "NULL_PUBLISHER",
     "NULL_RECORDER",
+    "PROGRESS_SCHEMA_VERSION",
     "TIMELINE_SCHEMA_VERSION",
+    "BufferedPublisher",
+    "CallbackPublisher",
     "Counter",
     "Gauge",
     "Histogram",
     "JsonLineFormatter",
+    "LabelledPublisher",
     "MetricsRegistry",
+    "NullPublisher",
     "NullRecorder",
+    "ProgressSnapshot",
     "TimelineRecorder",
     "configure_logging",
     "current_request_id",

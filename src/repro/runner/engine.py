@@ -45,6 +45,11 @@ from repro.common.errors import ReproError, RunnerError
 from repro.core.api import EvaluationReport
 from repro.core.presets import workload_graph, workload_params
 from repro.obs.logs import configure_logging, get_logger
+from repro.obs.progress import (
+    CallbackPublisher,
+    LabelledPublisher,
+    ProgressSnapshot,
+)
 from repro.runner.cache import CheckpointJournal, ResultCache
 from repro.runner.fingerprint import (
     config_fingerprint,
@@ -69,6 +74,10 @@ from repro.workloads.registry import (
 )
 
 ProgressFn = Callable[[JobRecord], None]
+#: Live-frame hook: (spec index, snapshot) as simulation progresses.
+FrameFn = Callable[[int, ProgressSnapshot], None]
+#: Incremental-result hook: (spec index, outcome) the moment it lands.
+OutcomeFn = Callable[[int, "SpecOutcome"], None]
 
 #: Parent-side structured run log.  Silent unless the embedding
 #: application (or ``RunnerConfig.log_level``) attaches a handler;
@@ -140,13 +149,22 @@ def simulate_spec_modes(
     trace_hash: str,
     spec: ExperimentSpec,
     config: RunnerConfig,
+    publisher=None,
 ) -> "dict[str, dict]":
-    """Phase 2 of a job: each mode from the cache or the simulator."""
+    """Phase 2 of a job: each mode from the cache or the simulator.
+
+    ``publisher`` receives live progress frames from each simulated
+    mode, relabeled ``"<job_id>/<mode>"``.  Cache keys fingerprint only
+    (trace, SystemConfig, salt), so a publisher-on run hits the exact
+    entries a publisher-off run stored — cached modes simply emit no
+    frames (nothing executes).
+    """
     from repro.sim.system import simulate_with_engine  # local: fork cost
 
     cache = (
         ResultCache(config.cache_dir) if config.cache_dir is not None else None
     )
+    pub = publisher if publisher is not None and publisher.enabled else None
     modes: dict[str, dict] = {}
     for mode_config in spec.modes:
         key = result_key(
@@ -161,8 +179,16 @@ def simulate_spec_modes(
         engine_name: Optional[str] = None
         fallback = False
         if payload is None:
+            mode_pub = (
+                LabelledPublisher(
+                    pub, f"{spec.job_id}/{mode_config.display_name}"
+                )
+                if pub is not None
+                else None
+            )
             result, engine_info = simulate_with_engine(
-                run.trace, mode_config, engine=config.engine
+                run.trace, mode_config, engine=config.engine,
+                publisher=mode_pub,
             )
             payload = result.to_dict()
             engine_name = engine_info.engine
@@ -181,7 +207,9 @@ def simulate_spec_modes(
     return modes
 
 
-def execute_spec(spec: ExperimentSpec, config: RunnerConfig) -> dict:
+def execute_spec(
+    spec: ExperimentSpec, config: RunnerConfig, publisher=None
+) -> dict:
     """Run one job; returns a picklable payload (worker entry point).
 
     Payload layout::
@@ -193,10 +221,14 @@ def execute_spec(spec: ExperimentSpec, config: RunnerConfig) -> dict:
     ``engine`` names the implementation that produced a freshly
     simulated mode (``None`` for cache hits, whose producing engine is
     unknowable — and irrelevant, results being bit-identical).
+    ``publisher`` streams live progress frames from simulated modes;
+    it rides the execution only and never alters the payload.
     """
     started = time.perf_counter()
     run, trace_hash = trace_spec(spec, config)
-    modes = simulate_spec_modes(run, trace_hash, spec, config)
+    modes = simulate_spec_modes(
+        run, trace_hash, spec, config, publisher=publisher
+    )
     return {
         "run": run,
         "trace_hash": trace_hash,
@@ -263,11 +295,26 @@ class ExperimentRunner:
         #: Submission timestamps by spec index, for queue-wait
         #: attribution (turnaround minus execute seconds).
         self._submitted: "dict[int, float]" = {}
+        self._on_frame: Optional[FrameFn] = None
+        self._on_outcome: Optional[OutcomeFn] = None
+        self._report: Optional[RunnerReport] = None
+
+    def partial_report(self) -> Optional[RunnerReport]:
+        """The in-flight report while :meth:`run` executes.
+
+        Job records mutate in place as the grid drains, so callers
+        observing from ``progress`` / ``on_frame`` callbacks see an
+        incrementally filled report; ``wall_seconds`` and ``failures``
+        are finalized only when :meth:`run` returns.
+        """
+        return self._report
 
     def run(
         self,
         specs: "list[ExperimentSpec]",
         progress: Optional[ProgressFn] = None,
+        on_frame: Optional[FrameFn] = None,
+        on_outcome: Optional[OutcomeFn] = None,
     ) -> "tuple[list[SpecOutcome], RunnerReport]":
         """Execute every spec; outcomes are returned in spec order.
 
@@ -279,7 +326,18 @@ class ExperimentRunner:
         breakage alone is never a failure — affected jobs are re-run
         in-process.  With ``resume``, specs whose key appears in the
         cache root's checkpoint journal are skipped entirely.
+
+        ``on_frame`` receives live ``(spec index, ProgressSnapshot)``
+        pairs while jobs simulate (requires
+        ``progress_interval_events > 0``; frames from pool workers ride
+        the heartbeat pipe).  ``on_outcome`` streams each
+        :class:`SpecOutcome` the moment it lands — before the grid
+        finishes — enabling incremental consumption of wide grids.
+        Both hooks observe only; results are bit-identical with or
+        without them.
         """
+        self._on_frame = on_frame
+        self._on_outcome = on_outcome
         if self.config.log_level is not None:
             configure_logging(
                 self.config.log_level, json_lines=self.config.log_json
@@ -315,6 +373,7 @@ class ExperimentRunner:
             parallel=use_pool,
             worker_count=self.config.resolved_jobs() if use_pool else 1,
         )
+        self._report = report
         _log.info(
             "grid start: %d job(s), %d pending",
             len(specs),
@@ -558,6 +617,7 @@ class ExperimentRunner:
                 self._spec_keys[index]
             ),
             on_dispatch=on_dispatch,
+            on_progress=self._on_frame,
         )
         try:
             result = pool.run(
@@ -696,8 +756,25 @@ class ExperimentRunner:
         record.executor = executor
         record.attempts += 1
         self._submitted[index] = self._clock()
+        publisher = None
+        if (
+            self._on_frame is not None
+            and self.config.progress_interval_events > 0
+        ):
+            frame_cb = self._on_frame
+            publisher = CallbackPublisher(
+                lambda snap, _index=index: frame_cb(_index, snap),
+                interval=self.config.progress_interval_events,
+            )
         try:
-            payload = execute_spec(specs[index], self.config)
+            # Only pass the kwarg when a publisher is live so stand-in
+            # two-argument execute_spec doubles keep working.
+            if publisher is not None:
+                payload = execute_spec(
+                    specs[index], self.config, publisher=publisher
+                )
+            else:
+                payload = execute_spec(specs[index], self.config)
         except ReproError as error:
             self._fail(record, "error", str(error), progress)
             return
@@ -780,6 +857,9 @@ class ExperimentRunner:
         if self._journal is not None:
             # Checkpoint for --resume: this spec never needs to re-run.
             self._journal.mark(self._spec_keys[index], record.job_id)
+        if self._on_outcome is not None:
+            # Incremental delivery: stream the cell before the grid ends.
+            self._on_outcome(index, outcome)
 
 
 # ----------------------------------------------------------------------
@@ -849,17 +929,21 @@ def run_evaluation_grid(
     config: Optional[RunnerConfig] = None,
     progress: Optional[ProgressFn] = None,
     faults=None,
+    on_frame: Optional[FrameFn] = None,
 ) -> "tuple[dict[str, EvaluationReport], RunnerReport]":
     """Execute the Figure 7 evaluation grid under ``config``.
 
     With ``allow_partial`` (or ``resume``) the returned mapping covers
     only the jobs that produced results; the report's ``failures`` and
-    ``jobs`` records account for the rest.
+    ``jobs`` records account for the rest.  ``on_frame`` streams live
+    per-job progress frames (``repro run --progress``).
     """
     config = config or RunnerConfig()
     scale = config.resolved_scale()
     specs = evaluation_grid_specs(scale, faults=faults)
-    outcomes, report = ExperimentRunner(config).run(specs, progress)
+    outcomes, report = ExperimentRunner(config).run(
+        specs, progress, on_frame=on_frame
+    )
     return {
         outcome.spec.workload: outcome.report() for outcome in outcomes
     }, report

@@ -56,6 +56,7 @@ from typing import Callable, Optional
 
 from repro.common.errors import ReproError, RunnerError, ShmError
 from repro.obs.logs import get_logger
+from repro.obs.progress import BufferedPublisher, ProgressSnapshot
 from repro.runner.shm import (
     ShmTraceRef,
     attach_trace,
@@ -97,7 +98,10 @@ def _worker_main(
 
     chaos = config.chaos
     send_lock = threading.Lock()
-    state = {"jobs_done": 0, "busy": False}
+    state = {
+        "jobs_done": 0, "busy": False,
+        "publisher": None, "job_index": None,
+    }
 
     def send(message: tuple) -> None:
         with send_lock:
@@ -125,7 +129,19 @@ def _worker_main(
                 time.sleep(chaos.stall_seconds)
                 continue
             seq += 1
-            send((_MSG_HB, worker_id, seq))
+            # Piggyback buffered progress frames on the beat: the pipe
+            # already exists and is already drained supervisor-side, so
+            # live progress costs no extra fd, thread, or protocol.
+            publisher = state["publisher"]
+            index = state["job_index"]
+            frames = publisher.drain() if publisher is not None else []
+            if frames and index is not None:
+                send((
+                    _MSG_HB, worker_id, seq,
+                    [(index, snap.to_dict()) for snap in frames],
+                ))
+            else:
+                send((_MSG_HB, worker_id, seq))
 
     _hb_stop = threading.Event()
     threading.Thread(
@@ -150,6 +166,12 @@ def _worker_main(
             if chaos.poison_workload == spec.workload:
                 os._exit(CHAOS_EXIT_CODE)
         state["busy"] = True
+        if config.progress_interval_events > 0:
+            state["job_index"] = index
+            state["publisher"] = BufferedPublisher(
+                interval=config.progress_interval_events,
+                max_frames=config.progress_buffer_frames,
+            )
         try:
             payload = _execute_job(
                 spec, config, resume, spill_dir, worker_id, index,
@@ -168,6 +190,8 @@ def _worker_main(
             send((_MSG_DONE, index, payload))
         finally:
             state["busy"] = False
+            state["publisher"] = None
+            state["job_index"] = None
             state["jobs_done"] += 1
 
 
@@ -229,12 +253,19 @@ def _execute_job(
             and state["jobs_done"] >= chaos.kill_after_jobs
         ):
             os._exit(CHAOS_EXIT_CODE)
-    modes = engine_mod.simulate_spec_modes(run, trace_hash, spec, config)
+    publisher = state.get("publisher")
+    modes = engine_mod.simulate_spec_modes(
+        run, trace_hash, spec, config, publisher=publisher
+    )
+    # Flush frames the heartbeat thread has not shipped yet into the
+    # done payload, so the tail of a run's progress always arrives.
+    frames = publisher.drain() if publisher is not None else []
     return {
         "modes": modes,
         "trace_hash": trace_hash,
         "seconds": time.perf_counter() - started,
         "shm_attach_failures": attach_failures,
+        "frames": [snap.to_dict() for snap in frames],
     }
 
 
@@ -309,6 +340,9 @@ class PoolOutcome:
 #: ``{"status": "failed", "kind", "message", "attempts"}``.
 CollectFn = Callable[[int, dict], None]
 DispatchFn = Callable[[int, int, bool], None]
+#: ``on_progress(index, snapshot)`` fires supervisor-side for every
+#: frame piggybacked on a worker heartbeat (or flushed at job end).
+PoolProgressFn = Callable[[int, ProgressSnapshot], None]
 
 
 class SupervisedWorkerPool:
@@ -319,6 +353,7 @@ class SupervisedWorkerPool:
         config: RunnerConfig,
         backoff_rng: Optional[Callable[[int], random.Random]] = None,
         on_dispatch: Optional[DispatchFn] = None,
+        on_progress: Optional[PoolProgressFn] = None,
     ):
         self.config = config
         self.chaos = config.chaos
@@ -336,6 +371,7 @@ class SupervisedWorkerPool:
             lambda index: random.Random(f"backoff:{index}")
         )
         self._on_dispatch = on_dispatch
+        self._on_progress = on_progress
 
     # -- lifecycle ------------------------------------------------------
 
@@ -541,7 +577,13 @@ class SupervisedWorkerPool:
         if kind == _MSG_READY:
             worker.ready = True
         elif kind == _MSG_HB:
-            pass  # the timestamp update above is the whole point
+            # The timestamp update above is the liveness signal; beats
+            # may additionally carry piggybacked progress frames.  This
+            # branch also runs on _reap's buffered-pipe drain, so a
+            # crashed worker's final snapshots are flushed rather than
+            # silently discarded with the dead pipe.
+            if len(message) > 3:
+                self._forward_frames(message[3])
         elif kind == _MSG_TRACED:
             _, index, ref = message
             job = worker.job
@@ -586,9 +628,25 @@ class SupervisedWorkerPool:
             worker.job = None
             self._fail_job(job, failure_kind, text)
 
+    def _forward_frames(
+        self, frames: "list[tuple[int, dict]]"
+    ) -> None:
+        """Deliver piggybacked (index, snapshot-dict) pairs upstream."""
+        if self._on_progress is None:
+            return
+        for index, snap in frames:
+            try:
+                snapshot = ProgressSnapshot.from_dict(snap)
+            except (ReproError, KeyError, TypeError, ValueError):
+                continue  # malformed frame: progress is best-effort
+            self._on_progress(index, snapshot)
+
     def _finish_job(self, job: _Job, lite: dict) -> None:
         self._outcome.shm_attach_failures += lite.get(
             "shm_attach_failures", 0
+        )
+        self._forward_frames(
+            [(job.index, snap) for snap in lite.get("frames", [])]
         )
         run = self._rehydrate_run(job)
         if run is None:

@@ -119,6 +119,18 @@ class RunnerConfig:
         ``engine``, never part of cache identity: a chaos grid must
         produce bit-identical results or the supervision layer is
         broken.
+    progress_interval_events:
+        Live-progress publish cadence for the per-event interpreter, in
+        retired events (``repro run --progress``, the service's SSE
+        feed).  0 (the default) disables publishing entirely — the sim
+        loop then carries zero per-event progress work.  Observability
+        only: like ``log_level`` and ``engine``, progress settings
+        never enter cache identity or spec keys, and publisher-on runs
+        are bit-identical to publisher-off runs by contract.
+    progress_buffer_frames:
+        Bound on the per-job frame buffer pool workers piggyback onto
+        the heartbeat pipe; when full the oldest frame is dropped
+        (drop-oldest, counted, never blocking the simulation).
     """
 
     scale: Optional[str] = None
@@ -142,6 +154,8 @@ class RunnerConfig:
     heartbeat_timeout_s: float = 30.0
     max_pool_restarts: int = 3
     chaos: Optional[ChaosPlan] = None
+    progress_interval_events: int = 0
+    progress_buffer_frames: int = 32
 
     def __post_init__(self) -> None:
         if self.pool not in ("supervised", "executor"):
@@ -159,6 +173,10 @@ class RunnerConfig:
             )
         if self.max_pool_restarts < 0:
             raise ConfigError("max_pool_restarts must be >= 0")
+        if self.progress_interval_events < 0:
+            raise ConfigError("progress_interval_events must be >= 0")
+        if self.progress_buffer_frames < 1:
+            raise ConfigError("progress_buffer_frames must be >= 1")
 
     def resolved_jobs(self) -> int:
         """Effective worker count (>= 1)."""

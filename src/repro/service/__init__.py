@@ -44,6 +44,7 @@ from repro.service.client import (
     JobFailedError,
     JobStatus,
     ServiceClient,
+    StreamEvent,
     SubmitTicket,
 )
 from repro.service.config import (
@@ -73,6 +74,7 @@ __all__ = [
     "ServiceClient",
     "ServiceConfig",
     "ServiceServer",
+    "StreamEvent",
     "SubmitTicket",
     "ThreadedServer",
     "TokenBucket",

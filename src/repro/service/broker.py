@@ -38,6 +38,8 @@ with nothing queued leaves no checkpoint behind.
 from __future__ import annotations
 
 import asyncio
+import functools
+import inspect
 import json
 import time
 from collections import OrderedDict, deque
@@ -49,6 +51,7 @@ from typing import Callable, Optional
 from repro.common.errors import ReproError, ServiceError
 from repro.obs.logs import get_logger
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import CallbackPublisher
 from repro.runner.cache import ResultCache
 from repro.runner.engine import execute_spec
 from repro.runner.fingerprint import spec_key
@@ -59,6 +62,10 @@ _log = get_logger("service")
 
 #: Priority lanes in drain order: interactive jobs always pop first.
 LANES = ("interactive", "batch")
+
+#: SSE event names that end a job's stream; after one of these the
+#: server closes the connection and clients stop reconnecting.
+TERMINAL_EVENTS = ("done", "failed", "checkpointed")
 
 #: Request-latency-ish histogram bounds in seconds (simulations run
 #: from milliseconds at tiny scale to minutes at paper scale).
@@ -183,6 +190,23 @@ class Job:
         }
 
 
+@dataclass
+class _JobStream:
+    """Per-job SSE fan-out state: monotonic ids, replay ring, queues.
+
+    Event ids start at 1 and only grow; the ring keeps the newest
+    ``stream_ring_size`` ``(id, event, data)`` tuples for
+    ``Last-Event-ID`` replay.  ``closed`` flips when a terminal event
+    is published — late subscribers then get the terminal event from
+    the ring (or a synthesized one) and the server ends their stream.
+    """
+
+    ring: deque
+    subscribers: "list[asyncio.Queue]" = field(default_factory=list)
+    next_id: int = 0
+    closed: bool = False
+
+
 class JobBroker:
     """Single-flight, bounded, priority-aware front of the runner.
 
@@ -204,7 +228,16 @@ class JobBroker:
         self.config = config or ServiceConfig()
         self.registry = registry if registry is not None else MetricsRegistry()
         self._execute = execute or execute_spec
+        # Tests inject two-argument execute fakes; only pass a live
+        # publisher through to callables that declare the parameter.
+        try:
+            parameters = inspect.signature(self._execute).parameters
+            self._execute_takes_publisher = "publisher" in parameters
+        except (TypeError, ValueError):
+            self._execute_takes_publisher = False
         self._clock = clock
+        self._streams: "dict[str, _JobStream]" = {}
+        self._stream_subscribers = 0
         self._jobs: "dict[str, Job]" = {}
         self._lanes: "dict[str, deque[Job]]" = {
             lane: deque() for lane in LANES
@@ -291,6 +324,19 @@ class JobBroker:
         self._m_workers_alive = reg.gauge(
             "service_workers_alive", "Broker worker tasks currently running"
         )
+        self._m_stream_subscribers = reg.gauge(
+            "service_stream_subscribers",
+            "Open SSE subscriptions across all job streams",
+        )
+        self._m_stream_events = reg.counter(
+            "service_stream_events_total",
+            "SSE events published to job streams, by event name",
+        )
+        self._m_stream_dropped = reg.counter(
+            "service_stream_dropped_total",
+            "SSE events dropped from slow subscriber queues",
+        )
+        self._m_stream_subscribers.set(0)
         for lane in LANES:
             self._m_depth.set(0, lane=lane)
 
@@ -366,6 +412,9 @@ class JobBroker:
                     job.status = "checkpointed"
                     job.done_event.set()
                     self._m_jobs.inc(status="checkpointed")
+                    self._publish_event(
+                        job.job_id, "checkpointed", job.status_dict()
+                    )
                     checkpointed.append(job)
             self._sync_depth()
             self._cond.notify_all()
@@ -576,6 +625,7 @@ class JobBroker:
             self._sync_depth()
             self._cond.notify()
         self._m_submissions.inc(outcome="accepted")
+        self._publish_event(key, "queued", job.status_dict())
         _log.info(
             "job accepted: %s (%s)",
             job.spec.job_id,
@@ -609,6 +659,103 @@ class JobBroker:
             if isinstance(stored, dict):
                 return canonical_json(stored)
         return None
+
+    # ------------------------------------------------------------------
+    # Event streaming (SSE fan-out per job)
+    # ------------------------------------------------------------------
+
+    def _stream_for(self, job_id: str) -> _JobStream:
+        stream = self._streams.get(job_id)
+        if stream is None:
+            stream = _JobStream(
+                ring=deque(maxlen=self.config.stream_ring_size)
+            )
+            self._streams[job_id] = stream
+        return stream
+
+    def _publish_event(self, job_id: str, event: str, data: dict) -> None:
+        """Append one event to the job's stream and fan it out.
+
+        Runs on the event loop only (worker threads cross over via
+        ``call_soon_threadsafe``).  Slow subscribers lose their oldest
+        undelivered events (drop-oldest, counted) instead of blocking
+        the broker; the replay ring still covers reconnects.
+        """
+        stream = self._stream_for(job_id)
+        stream.next_id += 1
+        entry = (stream.next_id, event, data)
+        stream.ring.append(entry)
+        self._m_stream_events.inc(event=event)
+        if event in TERMINAL_EVENTS:
+            stream.closed = True
+        for queue in stream.subscribers:
+            while True:
+                try:
+                    queue.put_nowait(entry)
+                    break
+                except asyncio.QueueFull:
+                    try:
+                        queue.get_nowait()
+                        self._m_stream_dropped.inc()
+                    except asyncio.QueueEmpty:  # pragma: no cover
+                        break
+
+    def subscribe(
+        self, job_id: str, last_event_id: Optional[int] = None
+    ):
+        """Open one SSE subscription; ``None`` if the job is unknown.
+
+        Returns ``(replay, queue)``: ``replay`` is the list of ring
+        events with id greater than ``last_event_id`` (all of them for
+        a fresh subscriber), after which new events arrive on
+        ``queue``.  Jobs that finished before any stream existed (cache
+        hits, jobs restored from the response store) get a synthesized
+        terminal event so late watchers still see an end-of-stream
+        frame.  Pair every call with :meth:`unsubscribe`.
+        """
+        stream = self._streams.get(job_id)
+        if stream is None:
+            job = self._jobs.get(job_id)
+            if job is not None:
+                stream = self._stream_for(job_id)
+                if job.finished:
+                    self._publish_event(
+                        job_id,
+                        "failed" if job.status == "failed" else job.status,
+                        job.status_dict(),
+                    )
+            elif self.lookup_response(job_id) is not None:
+                stream = self._stream_for(job_id)
+                self._publish_event(
+                    job_id,
+                    "done",
+                    {"job_id": job_id, "status": "done",
+                     "from_cache": True},
+                )
+            else:
+                return None
+        queue: "asyncio.Queue" = asyncio.Queue(
+            maxsize=self.config.stream_queue_size
+        )
+        stream.subscribers.append(queue)
+        self._stream_subscribers += 1
+        self._m_stream_subscribers.set(self._stream_subscribers)
+        replay = [
+            entry
+            for entry in stream.ring
+            if last_event_id is None or entry[0] > last_event_id
+        ]
+        return replay, queue
+
+    def unsubscribe(self, job_id: str, queue: "asyncio.Queue") -> None:
+        stream = self._streams.get(job_id)
+        if stream is not None:
+            try:
+                stream.subscribers.remove(queue)
+            except ValueError:
+                return  # already removed (double unsubscribe)
+        self._stream_subscribers = max(0, self._stream_subscribers - 1)
+        self._m_stream_subscribers.set(self._stream_subscribers)
 
     # ------------------------------------------------------------------
     # Execution
@@ -702,11 +849,38 @@ class JobBroker:
     async def _execute_job(self, job: Job) -> None:
         job.status = "running"
         loop = asyncio.get_running_loop()
+        self._publish_event(job.job_id, "running", job.status_dict())
+        call = functools.partial(
+            self._execute, job.spec, self.config.runner
+        )
+        if (
+            self._execute_takes_publisher
+            and self.config.stream_progress_events > 0
+        ):
+            job_id = job.job_id
+
+            def _frame(snapshot) -> None:
+                # Executor thread -> event loop: progress frames cross
+                # via call_soon_threadsafe; a loop already shut down
+                # just drops the tail frames.
+                try:
+                    loop.call_soon_threadsafe(
+                        self._publish_event, job_id, "progress",
+                        snapshot.to_dict(),
+                    )
+                except RuntimeError:
+                    pass
+
+            call = functools.partial(
+                call,
+                publisher=CallbackPublisher(
+                    _frame,
+                    interval=self.config.stream_progress_events,
+                ),
+            )
         started = self._clock()
         try:
-            payload = await loop.run_in_executor(
-                self._pool, self._execute, job.spec, self.config.runner
-            )
+            payload = await loop.run_in_executor(self._pool, call)
         except ReproError as error:
             self._fail(job, str(error))
             return
@@ -745,6 +919,7 @@ class JobBroker:
             self._responses.put(job.job_id, body)
         self._m_jobs.inc(status="done")
         self._track_terminal(job)
+        self._publish_event(job.job_id, "done", job.status_dict())
         _log.info(
             "job done: %s (%.2fs, coalesced %d)",
             job.spec.job_id,
@@ -765,6 +940,7 @@ class JobBroker:
         job.done_event.set()
         self._m_jobs.inc(status="failed")
         self._track_terminal(job)
+        self._publish_event(job.job_id, "failed", job.status_dict())
         _log.error(
             "job failed: %s — %s",
             job.spec.job_id,
@@ -791,6 +967,7 @@ class JobBroker:
             old = self._jobs.get(old_id)
             if old is not None and old.finished and old is not job:
                 del self._jobs[old_id]
+                self._streams.pop(old_id, None)
 
     # ------------------------------------------------------------------
     # Cache pruning timer
@@ -844,6 +1021,7 @@ __all__ = [
     "LANES",
     "QueueFullError",
     "RateLimitedError",
+    "TERMINAL_EVENTS",
     "TokenBucket",
     "canonical_json",
 ]

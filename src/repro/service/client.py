@@ -43,6 +43,27 @@ class JobFailedError(ServiceError):
 
 
 @dataclass(frozen=True)
+class StreamEvent:
+    """One Server-Sent Event from ``GET /v1/jobs/{id}/events``.
+
+    ``event_id`` is the server's monotonically increasing per-job id
+    (feed the last one seen back as ``last_event_id`` to resume after
+    a disconnect).  ``event`` is the lifecycle name (``queued``,
+    ``running``, ``progress``, ``done``, ``failed``,
+    ``checkpointed``); ``data`` is the decoded JSON payload — a job
+    status dict, or a ProgressSnapshot dict for ``progress`` frames.
+    """
+
+    event_id: int
+    event: str
+    data: dict
+
+    @property
+    def terminal(self) -> bool:
+        return self.event in ("done", "failed", "checkpointed")
+
+
+@dataclass(frozen=True)
 class SubmitTicket:
     """What ``POST /v1/jobs`` answered."""
 
@@ -274,6 +295,103 @@ class ServiceClient:
                 )
             time.sleep(poll_s)
 
+    def events(
+        self,
+        job_id: str,
+        last_event_id: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+    ):
+        """Yield :class:`StreamEvent` frames from the SSE endpoint.
+
+        Holds one connection open and parses the ``text/event-stream``
+        wire format incrementally (``id:`` / ``event:`` / ``data:``
+        fields, blank-line dispatch, ``:`` comment heartbeats are
+        skipped).  The generator ends when the server closes the
+        stream — after a terminal event, or on drain.  Pass the last
+        ``event_id`` you processed as ``last_event_id`` to resume a
+        dropped stream without missing (ring-retained) events.
+
+        ``timeout_s`` bounds each socket read; the server's periodic
+        heartbeats keep a healthy-but-quiet stream under any bound
+        larger than ``stream_heartbeat_s``.
+        """
+        headers = {
+            "Accept": "text/event-stream",
+            "Connection": "close",
+        }
+        if self.client_id:
+            headers["X-Client-Id"] = self.client_id
+        if last_event_id is not None:
+            headers["Last-Event-ID"] = str(last_event_id)
+        conn = http.client.HTTPConnection(
+            self._host,
+            self._port,
+            timeout=(
+                timeout_s if timeout_s is not None else self.timeout_s
+            ),
+        )
+        path = f"/v1/jobs/{urllib.parse.quote(job_id)}/events"
+        try:
+            try:
+                conn.request("GET", path, headers=headers)
+                response = conn.getresponse()
+            except (OSError, http.client.HTTPException) as error:
+                raise ServiceError(
+                    f"GET {path} failed against "
+                    f"{self._host}:{self._port}: {error}"
+                ) from error
+            if response.status == 404:
+                raise ServiceError(f"unknown job {job_id!r}")
+            if response.status != 200:
+                raise ServiceError(
+                    f"events answered HTTP {response.status}"
+                )
+            event_id = 0
+            event_name = "message"
+            data_lines: "list[str]" = []
+            while True:
+                try:
+                    raw = response.readline()
+                except (OSError, http.client.HTTPException) as error:
+                    raise ServiceError(
+                        f"event stream for {job_id} broke: {error}"
+                    ) from error
+                if not raw:
+                    return  # server closed the stream
+                line = raw.decode("utf-8", "replace").rstrip("\r\n")
+                if not line:
+                    if data_lines:
+                        try:
+                            data = json.loads("\n".join(data_lines))
+                        except json.JSONDecodeError:
+                            data = {}
+                        if not isinstance(data, dict):
+                            data = {}
+                        yield StreamEvent(
+                            event_id=event_id,
+                            event=event_name,
+                            data=data,
+                        )
+                    event_name = "message"
+                    data_lines = []
+                    continue
+                if line.startswith(":"):
+                    continue  # heartbeat comment
+                name, _, value = line.partition(":")
+                if value.startswith(" "):
+                    value = value[1:]
+                if name == "id":
+                    try:
+                        event_id = int(value)
+                    except ValueError:
+                        pass
+                elif name == "event":
+                    event_name = value
+                elif name == "data":
+                    data_lines.append(value)
+        finally:
+            conn.close()
+
     def submit_and_wait(
         self,
         timeout_s: float = 300.0,
@@ -328,5 +446,6 @@ __all__ = [
     "JobFailedError",
     "JobStatus",
     "ServiceClient",
+    "StreamEvent",
     "SubmitTicket",
 ]

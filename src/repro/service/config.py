@@ -75,6 +75,26 @@ class ServiceConfig:
         Execution settings for each spec (cache dir, strictness,
         salt).  The broker runs one spec at a time per worker slot, so
         the runner's own pool/parallel settings are not used here.
+    stream_ring_size:
+        Per-job replay ring for the SSE endpoint
+        (``GET /v1/jobs/{id}/events``): the last N events are kept so a
+        reconnecting client can resume from ``Last-Event-ID``.  Events
+        older than the ring are gone — the client falls back to the
+        terminal status endpoint.
+    stream_queue_size:
+        Per-subscriber delivery queue bound.  A subscriber that cannot
+        keep up has its *oldest* undelivered events dropped (counted in
+        ``service_stream_dropped_total``) rather than stalling the
+        broker or growing memory without bound.
+    stream_heartbeat_s:
+        Idle cadence of SSE ``: heartbeat`` comment lines, keeping
+        proxies and clients from timing out a quiet stream.
+    stream_progress_events:
+        Publish cadence (retired simulation events) for jobs executed
+        by this service; overrides ``runner.progress_interval_events``
+        for service executions.  0 disables live progress frames —
+        lifecycle events (queued/running/done/failed) still stream.
+        Observability only: never part of cache identity.
     """
 
     host: str = "127.0.0.1"
@@ -90,6 +110,10 @@ class ServiceConfig:
     completed_jobs_kept: int = 512
     max_worker_restarts: int = 3
     runner: RunnerConfig = field(default_factory=RunnerConfig)
+    stream_ring_size: int = 256
+    stream_queue_size: int = 64
+    stream_heartbeat_s: float = 10.0
+    stream_progress_events: int = 20_000
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -106,6 +130,16 @@ class ServiceConfig:
             raise ConfigError("service completed_jobs_kept must be >= 1")
         if self.max_worker_restarts < 0:
             raise ConfigError("service max_worker_restarts must be >= 0")
+        if self.stream_ring_size < 1:
+            raise ConfigError("service stream_ring_size must be >= 1")
+        if self.stream_queue_size < 1:
+            raise ConfigError("service stream_queue_size must be >= 1")
+        if self.stream_heartbeat_s <= 0:
+            raise ConfigError("service stream_heartbeat_s must be > 0")
+        if self.stream_progress_events < 0:
+            raise ConfigError(
+                "service stream_progress_events must be >= 0"
+            )
 
     @property
     def max_cache_bytes(self) -> int:

@@ -11,6 +11,10 @@ connection, ``Connection: close``) exposing:
   immediately, 429/503 + ``Retry-After`` when admission rejects;
 - ``GET /v1/jobs/{id}`` — job status, or the canonical result body
   once done (bit-identical for every caller of the same spec);
+- ``GET /v1/jobs/{id}/events`` — Server-Sent Events stream of the
+  job's lifecycle (``queued`` → ``running`` → ``progress``* →
+  ``done``/``failed``) with ``Last-Event-ID`` replay from a bounded
+  per-job ring and ``: heartbeat`` comments on idle streams;
 - ``GET /healthz`` (liveness + broker stats), ``GET /readyz``
   (503 while draining or when every worker slot has crashed past its
   restart budget — load balancers stop routing here first);
@@ -36,7 +40,12 @@ from repro.common.errors import ConfigError, ReproError, ServiceError
 from repro.obs.logs import get_logger, request_id_context
 from repro.obs.metrics import MetricsRegistry, render_prometheus
 from repro.runner.spec import ExperimentSpec
-from repro.service.broker import AdmissionError, DrainingError, JobBroker
+from repro.service.broker import (
+    AdmissionError,
+    DrainingError,
+    JobBroker,
+    TERMINAL_EVENTS,
+)
 from repro.service.config import ServiceConfig
 from repro.sim.config import SystemConfig
 
@@ -197,6 +206,34 @@ class ServiceServer:
                 method, path, headers = await self._read_head(reader)
                 if method is None:
                     return  # client closed without sending a request
+                bare = path.split("?", 1)[0]
+                if (
+                    method == "GET"
+                    and bare.startswith("/v1/jobs/")
+                    and bare.endswith("/events")
+                ):
+                    # SSE: long-lived, incrementally written response
+                    # that bypasses the Content-Length writer below.
+                    route = "/v1/jobs/{id}/events"
+                    job_id = bare[len("/v1/jobs/"):-len("/events")]
+                    code = await self._stream_events(
+                        writer, job_id, headers, request_id
+                    )
+                    _log.info(
+                        "%s %s -> %d",
+                        method,
+                        path,
+                        code,
+                        extra={
+                            "event": "request",
+                            "method": method,
+                            "path": path,
+                            "route": route,
+                            "code": code,
+                            "duration_s": loop.time() - started,
+                        },
+                    )
+                    return
                 body = await self._read_body(reader, headers)
                 route, code, payload, extra = await self._route(
                     method, path, body
@@ -334,6 +371,7 @@ class ServiceServer:
                     "endpoints": [
                         "POST /v1/jobs",
                         "GET /v1/jobs/{id}",
+                        "GET /v1/jobs/{id}/events",
                         "GET /healthz",
                         "GET /readyz",
                         "GET /metrics",
@@ -400,6 +438,91 @@ class ServiceServer:
         if stored is not None:
             return route, 200, stored, {}
         return route, 404, {"error": f"unknown job {job_id!r}"}, {}
+
+    # ------------------------------------------------------------------
+    # Event streaming (SSE)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _sse_frame(entry) -> bytes:
+        event_id, event, data = entry
+        return (
+            f"id: {event_id}\nevent: {event}\n"
+            f"data: {json.dumps(data)}\n\n"
+        ).encode("utf-8")
+
+    async def _stream_events(
+        self, writer, job_id: str, headers: dict, request_id: str
+    ) -> int:
+        """``GET /v1/jobs/{id}/events``: stream until a terminal event.
+
+        Replays the broker's per-job ring (filtered past the client's
+        ``Last-Event-ID`` if it reconnected), then relays live events
+        from a bounded subscriber queue, writing ``: heartbeat``
+        comments whenever ``stream_heartbeat_s`` passes without one.
+        The stream ends after a terminal event (``done`` / ``failed`` /
+        ``checkpointed``), when the client disconnects, or when the
+        service starts draining.  Returns the HTTP status code for the
+        request log/metrics.
+        """
+        last_id: Optional[int] = None
+        raw = headers.get("last-event-id", "")
+        if raw:
+            try:
+                last_id = int(raw)
+            except ValueError:
+                last_id = None  # ignore garbage resume cookies
+        subscription = self.broker.subscribe(
+            job_id, last_event_id=last_id
+        )
+        if subscription is None:
+            self._write_response(
+                writer, 404,
+                {"error": f"unknown job {job_id!r}"},
+                request_id, {},
+            )
+            return 404
+        replay, queue = subscription
+        head = [
+            "HTTP/1.1 200 OK",
+            "Content-Type: text/event-stream",
+            "Cache-Control: no-cache",
+            f"X-Request-Id: {request_id}",
+            "Connection: close",
+        ]
+        writer.write(
+            ("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+        )
+        try:
+            for entry in replay:
+                writer.write(self._sse_frame(entry))
+                if entry[1] in TERMINAL_EVENTS:
+                    await writer.drain()
+                    return 200
+            await writer.drain()
+            while True:
+                try:
+                    entry = await asyncio.wait_for(
+                        queue.get(),
+                        timeout=self.config.stream_heartbeat_s,
+                    )
+                except asyncio.TimeoutError:
+                    if self.broker.draining:
+                        # Graceful drain closes every queued job's
+                        # stream via "checkpointed"; anything still
+                        # idle here would pin the shutdown.
+                        return 200
+                    writer.write(b": heartbeat\n\n")
+                    await writer.drain()
+                    continue
+                writer.write(self._sse_frame(entry))
+                await writer.drain()
+                if entry[1] in TERMINAL_EVENTS:
+                    return 200
+        except ConnectionError:
+            return 200  # client went away mid-stream
+        finally:
+            self.broker.unsubscribe(job_id, queue)
 
     # ------------------------------------------------------------------
     # Response writing

@@ -9,6 +9,7 @@ is bit-for-bit reproducible across runs.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
 
 from repro.common.engine import EngineInfo, EngineSelection, resolve_engine
@@ -248,7 +249,8 @@ class SimResult:
 
 
 def simulate(
-    trace: Trace, config: SystemConfig, recorder=None, engine=None
+    trace: Trace, config: SystemConfig, recorder=None, engine=None,
+    publisher=None,
 ) -> SimResult:
     """Replay ``trace`` under ``config`` and return aggregate results.
 
@@ -258,6 +260,15 @@ def simulate(
     no per-event work and is bit-identical to a recorded run — the
     recorder only *observes* reservation decisions, never makes them.
 
+    ``publisher`` (a :class:`~repro.obs.progress.NullPublisher`
+    subclass) receives live :class:`~repro.obs.progress.ProgressSnapshot`
+    frames while the simulation runs — every ``publisher.interval``
+    retired events in the reference interpreter, at chunk boundaries in
+    the vectorized engine.  Like the recorder it only observes: results
+    are bit-identical with the publisher on or off, and the default
+    ``None`` / :data:`~repro.obs.progress.NULL_PUBLISHER` path carries
+    zero per-event work.
+
     ``engine`` picks the implementation
     (:class:`~repro.common.engine.EngineSelection` or its string form);
     the default resolves via ``REPRO_ENGINE`` and falls back to
@@ -266,13 +277,15 @@ def simulate(
     those that do care use :func:`simulate_with_engine`.
     """
     result, _info = simulate_with_engine(
-        trace, config, recorder=recorder, engine=engine
+        trace, config, recorder=recorder, engine=engine,
+        publisher=publisher,
     )
     return result
 
 
 def simulate_with_engine(
-    trace: Trace, config: SystemConfig, recorder=None, engine=None
+    trace: Trace, config: SystemConfig, recorder=None, engine=None,
+    publisher=None,
 ) -> tuple[SimResult, EngineInfo]:
     """Like :func:`simulate`, but also report which engine executed.
 
@@ -293,22 +306,57 @@ def simulate_with_engine(
             f"{config.num_cores} cores"
         )
     rec = recorder if recorder is not None and recorder.enabled else None
+    pub = publisher if publisher is not None and publisher.enabled else None
     if selection.wants_vectorized:
-        result, reason = try_simulate_vectorized(trace, config, rec)
+        result, reason = try_simulate_vectorized(
+            trace, config, rec, publisher=pub
+        )
         if result is not None:
             return result, EngineInfo(engine="vectorized")
         return (
-            _simulate_reference(trace, config, rec),
+            _simulate_reference(trace, config, rec, pub),
             EngineInfo(engine="legacy", fallback=True, reason=reason),
         )
     return (
-        _simulate_reference(trace, config, rec),
+        _simulate_reference(trace, config, rec, pub),
         EngineInfo(engine=str(EngineSelection.LEGACY)),
     )
 
 
+def _publish_frame(pub, phase, events_done, events_total, cores, start):
+    """Emit one progress frame from live interpreter state.
+
+    Runs only on the every-N publish path, never per event; the frame
+    reads (sums) simulation state without touching it, which is what
+    keeps publisher-on runs bit-identical to publisher-off runs.
+    """
+    from repro.obs.progress import ProgressSnapshot
+
+    elapsed = time.monotonic() - start
+    eta = None
+    if events_total > 0 and events_done > 0:
+        remaining = max(events_total - events_done, 0)
+        eta = elapsed / events_done * remaining
+    pub.publish(
+        ProgressSnapshot(
+            label="",
+            phase=phase,
+            events_done=events_done,
+            events_total=events_total,
+            sim_cycles=max(core.t for core in cores) if cores else 0.0,
+            instructions=sum(core.stats.instructions for core in cores),
+            offloaded_atomics=sum(
+                core.stats.offloaded_atomics for core in cores
+            ),
+            host_atomics=sum(core.stats.host_atomics for core in cores),
+            elapsed_s=elapsed,
+            eta_s=eta,
+        )
+    )
+
+
 def _simulate_reference(
-    trace: Trace, config: SystemConfig, rec
+    trace: Trace, config: SystemConfig, rec, pub=None
 ) -> SimResult:
     """The per-event reference interpreter (the bit-identity oracle)."""
     num_threads = trace.num_threads
@@ -337,11 +385,25 @@ def _simulate_reference(
     at_barrier: list[Core] = []
     barrier_id: int | None = None
     done_count = 0
+    # Progress publishing: hoisted so the pub-off loop stays untouched.
+    events_total = trace.num_events
+    events_done = 0
+    publish_every = pub.interval if pub is not None else 0
+    publish_at = publish_every
+    start_wall = time.monotonic() if pub is not None else 0.0
 
     while ready:
         _t, core_id = heapq.heappop(ready)
         core = cores[core_id]
         status = core.step()
+        if pub is not None and status != STEP_DONE:
+            events_done += 1
+            if events_done >= publish_at:
+                publish_at += publish_every
+                _publish_frame(
+                    pub, "simulate", events_done, events_total,
+                    cores, start_wall,
+                )
         if status == STEP_BARRIER:
             if barrier_id is None:
                 barrier_id = core.pending_barrier
@@ -376,6 +438,11 @@ def _simulate_reference(
         raise SimulationError(
             "simulation ended with cores stuck at a barrier "
             f"(barrier {barrier_id}, {len(at_barrier)} cores)"
+        )
+
+    if pub is not None:
+        _publish_frame(
+            pub, "simulate", events_done, events_total, cores, start_wall
         )
 
     total = CoreStats()

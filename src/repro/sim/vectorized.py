@@ -172,7 +172,7 @@ def decline_reason(
 
 
 def try_simulate_vectorized(
-    trace: Trace, config: SystemConfig, recorder=None
+    trace: Trace, config: SystemConfig, recorder=None, publisher=None
 ):
     """Run the batch kernel, or decline.
 
@@ -180,6 +180,12 @@ def try_simulate_vectorized(
     when the kernel declines the input.  Raises exactly where the
     reference would raise for inputs both engines accept (barrier
     mismatches, stuck barriers).
+
+    ``publisher`` receives coarse chunk-boundary progress frames: the
+    C loop cannot be interrupted from Python, so a vectorized run emits
+    one ``precompute`` frame before the kernel and one ``kernel`` frame
+    after it rather than the interpreter's every-N-events cadence.
+    Publishing never affects kernel inputs, so bit-identity holds.
     """
     reason = decline_reason(trace, config, recorder)
     if reason is not None:
@@ -199,16 +205,57 @@ def try_simulate_vectorized(
         # Python floor-mod vs C trunc-mod differ below zero; leave
         # pathological traces to the reference.
         return None, "negative addresses in trace"
+    pub = publisher if publisher is not None and publisher.enabled else None
     try:
-        return _simulate_columnar(col, config), None
+        return _simulate_columnar(col, config, pub), None
     except _KernelResourceError as exc:
         return None, str(exc)
 
 
-def _simulate_columnar(col, config: SystemConfig):
+def _publish_chunk(pub, phase, events_done, events_total, start,
+                   sim_cycles=0.0, result=None):
+    """One chunk-boundary progress frame (precompute done / kernel done).
+
+    Reads finished state only — the kernel has either not started or
+    already returned — so publishing cannot perturb the simulation.
+    """
+    import time
+
+    from repro.obs.progress import ProgressSnapshot
+
+    elapsed = time.monotonic() - start
+    pub.publish(
+        ProgressSnapshot(
+            label="",
+            phase=phase,
+            events_done=events_done,
+            events_total=events_total,
+            sim_cycles=(
+                result.cycles if result is not None else sim_cycles
+            ),
+            instructions=(
+                result.core_stats.instructions if result is not None else 0
+            ),
+            offloaded_atomics=(
+                result.core_stats.offloaded_atomics
+                if result is not None else 0
+            ),
+            host_atomics=(
+                result.core_stats.host_atomics if result is not None else 0
+            ),
+            elapsed_s=elapsed,
+            eta_s=None,
+        )
+    )
+
+
+def _simulate_columnar(col, config: SystemConfig, pub=None):
     """The fused kernel proper.  See the module docstring for rules."""
+    import time
+
     from repro.sim.system import SimResult
 
+    start_wall = time.monotonic() if pub is not None else 0.0
     cfg = config.hmc
     T = col.num_threads
     mode = config.mode
@@ -401,6 +448,12 @@ def _simulate_columnar(col, config: SystemConfig):
     out_d = np.zeros(3, dtype=np.float64)
     tkbuf = np.zeros(25, dtype=np.int64)
 
+    if pub is not None:
+        # Chunk boundary 1: precompute finished, kernel about to run.
+        _publish_chunk(
+            pub, "precompute", 0, col.num_events, start_wall
+        )
+
     lib, _unavailable = load_kernel()  # non-None; decline_reason checked
     i64p = ctypes.POINTER(ctypes.c_int64)
     f64p = ctypes.POINTER(ctypes.c_double)
@@ -496,7 +549,7 @@ def _simulate_columnar(col, config: SystemConfig):
     hmc_stats.bank_wait_cycles = od[0]
     hmc_stats.link_wait_cycles = od[1] + od[2]
 
-    return SimResult(
+    result = SimResult(
         config=config,
         cycles=max(cd[:T]),
         core_stats=total,
@@ -511,4 +564,11 @@ def _simulate_columnar(col, config: SystemConfig):
         dram_stats=None,
         cache_prefetches=oi[8],
     )
+    if pub is not None:
+        # Chunk boundary 2: kernel returned; report final totals.
+        _publish_chunk(
+            pub, "kernel", col.num_events, col.num_events, start_wall,
+            result=result,
+        )
+    return result
 
