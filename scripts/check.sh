@@ -4,8 +4,9 @@
 # simulation-kernel equivalence (both engines, diffed JSON),
 # fault-injection smoke runs, a chaos smoke (kill a worker mid-grid,
 # assert bit-identical recovery and no leaked shm segments),
-# observability smoke, and an end-to-end smoke of the simulation
-# service (boot, submit, SIGTERM drain).
+# observability smoke, an end-to-end smoke of the simulation service
+# (boot, submit, SIGTERM drain), and a fleet smoke (two pull-workers,
+# one SIGKILLed mid-lease, bit-identical redispatch).
 #
 # ruff and mypy run as hard failures when installed.  The offline test
 # image ships without them, so by default their absence only prints a
@@ -300,6 +301,18 @@ if command -v timeout >/dev/null 2>&1; then
         python scripts/stream_smoke.py
 else
     run_or_fail python scripts/stream_smoke.py
+fi
+
+step "repro serve --fleet (fleet smoke: SIGKILL a worker mid-lease)"
+# Dispatch-only broker plus two real pull-workers: SIGKILL one while
+# it holds leases, assert the lease-expiry path redispatches every job
+# to the survivor, the final bytes are bit-identical to a serial
+# server, and no shm segments or leases leak.
+if command -v timeout >/dev/null 2>&1; then
+    run_or_fail timeout --signal=KILL 420 \
+        python scripts/fleet_smoke.py
+else
+    run_or_fail python scripts/fleet_smoke.py
 fi
 
 echo

@@ -65,6 +65,12 @@ class ChaosPlan:
     #: Workload code whose jobs crash any worker that executes them
     #: (the poisoned-spec scenario: two dead workers → quarantine).
     poison_workload: str = ""
+    #: Fleet fault (PR 10): a ``repro worker`` abandons its current
+    #: lease batch — stops heartbeating and executing without
+    #: deregistering, as a SIGKILLed worker would — once it has leased
+    #: more than this many jobs in total (-1 disables the fault).  The
+    #: broker's lease expiry must redispatch the abandoned jobs.
+    lease_abandon_after: int = -1
 
     def __post_init__(self) -> None:
         if self.kill_worker < -1:
@@ -85,6 +91,10 @@ class ChaosPlan:
             raise ConfigError("corrupt_cache_entries must be >= 0")
         if self.truncate_journal_bytes < 0:
             raise ConfigError("truncate_journal_bytes must be >= 0")
+        if self.lease_abandon_after < -1:
+            raise ConfigError(
+                "lease_abandon_after must be >= 0 or -1 (off)"
+            )
 
     @property
     def enabled(self) -> bool:
@@ -96,6 +106,7 @@ class ChaosPlan:
             or self.corrupt_cache_entries > 0
             or self.truncate_journal_bytes > 0
             or bool(self.poison_workload)
+            or self.lease_abandon_after >= 0
         )
 
     def rng(self, *labels: object) -> random.Random:
@@ -122,7 +133,8 @@ class ChaosPlan:
         ``:trace`` delays the kill until the trace is published),
         ``stall`` (``worker:after_jobs:seconds``), ``shm`` (0/1),
         ``cache`` (entry count), ``journal`` (bytes), ``poison``
-        (workload code), ``seed``.
+        (workload code), ``lease`` (jobs leased before a fleet worker
+        abandons its batch), ``seed``.
         """
         kwargs: dict = {}
         for part in filter(None, (p.strip() for p in spec.split(","))):
@@ -160,12 +172,15 @@ class ChaosPlan:
                     kwargs["truncate_journal_bytes"] = int(raw)
                 elif key == "poison":
                     kwargs["poison_workload"] = raw
+                elif key == "lease":
+                    kwargs["lease_abandon_after"] = int(raw)
                 elif key == "seed":
                     kwargs["seed"] = int(raw)
                 else:
                     raise ConfigError(
                         f"unknown chaos spec key {key!r}; known: kill, "
-                        "stall, shm, cache, journal, poison, seed"
+                        "stall, shm, cache, journal, poison, lease, "
+                        "seed"
                     )
             except ValueError as error:
                 raise ConfigError(
@@ -201,4 +216,9 @@ class ChaosPlan:
             )
         if self.poison_workload:
             parts.append(f"poison workload {self.poison_workload}")
+        if self.lease_abandon_after >= 0:
+            parts.append(
+                f"abandon lease after {self.lease_abandon_after} "
+                f"leased job(s)"
+            )
         return "; ".join(parts)

@@ -355,6 +355,121 @@ def _build_parser() -> argparse.ArgumentParser:
         "REPRO_ENGINE or auto); fallbacks surface on the "
         "service_engine_fallbacks_total metric",
     )
+    serve.add_argument(
+        "--fleet",
+        action="store_true",
+        help="dispatch-only mode: run no local execution slots; every "
+        "job waits for a `repro worker` to lease it",
+    )
+    serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=15.0,
+        metavar="SECONDS",
+        help="fleet lease validity window; an unrenewed lease requeues "
+        "its job (default: 15)",
+    )
+    serve.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=45.0,
+        metavar="SECONDS",
+        help="expire fleet workers silent for longer than this "
+        "(default: 45)",
+    )
+    serve.add_argument(
+        "--stream-spans",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stream up to N timeline spans per `span` SSE event "
+        "(0 = off; routes simulated modes through the reference "
+        "interpreter, results stay bit-identical)",
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="run a fleet pull-worker against a `repro serve --fleet` "
+        "broker",
+    )
+    worker.add_argument(
+        "--url",
+        default=None,
+        help="broker base URL (default: $REPRO_SERVICE_URL or "
+        "http://127.0.0.1:8477)",
+    )
+    worker.add_argument(
+        "--id",
+        dest="worker_id",
+        default=None,
+        help="stable worker identity (default: generated "
+        "hostname-tagged id); reusing an id after a restart keeps its "
+        "shard, and the warm cache with it",
+    )
+    worker.add_argument(
+        "--capacity",
+        type=int,
+        default=1,
+        help="jobs requested per lease (server-capped; default: 1)",
+    )
+    worker.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="sleep between empty leases (default: 0.2)",
+    )
+    worker.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache root (default: .repro_cache)",
+    )
+    worker.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="execute without a persistent result cache",
+    )
+    worker.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run lease batches through a supervised worker pool of N "
+        "processes (default: in-process sequential execution)",
+    )
+    worker.add_argument(
+        "--engine",
+        choices=("auto", "vectorized", "legacy"),
+        default=None,
+        help="simulation engine (default: REPRO_ENGINE or auto)",
+    )
+    worker.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        default=None,
+        help="chaos plan, e.g. lease=2,seed=7 (abandon the batch after "
+        "2 leased jobs — tests the broker's expiry/redispatch path)",
+    )
+    worker.add_argument(
+        "--max-batches",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after serving N non-empty lease batches (default: "
+        "run until SIGTERM)",
+    )
+    worker.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="emit structured worker logs on stderr at this level",
+    )
+    worker.add_argument(
+        "--log-json",
+        action="store_true",
+        help="format worker logs as JSON lines (implies --log-level "
+        "info unless set)",
+    )
 
     submit = sub.add_parser(
         "submit", help="submit one experiment to a running service"
@@ -924,6 +1039,10 @@ def _cmd_serve(args) -> int:
         rate_limit_burst=args.rate_burst,
         prune_interval_s=args.prune_interval,
         max_cache_mb=args.max_cache_mb,
+        stream_spans=args.stream_spans,
+        fleet=args.fleet,
+        fleet_lease_ttl_s=args.lease_ttl,
+        fleet_worker_timeout_s=args.worker_timeout,
         runner=RunnerConfig(
             strict=args.strict,
             lint_baseline=args.lint_baseline,
@@ -940,6 +1059,58 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:
         # Ctrl-C before the loop's signal handler was installed.
         return 0
+
+
+def _cmd_worker(args) -> int:
+    import signal as _signal
+
+    from repro.fleet.worker import FleetWorker, make_worker_id
+    from repro.obs.logs import configure_logging
+    from repro.runner import RunnerConfig
+    from repro.service.client import ServiceClient
+
+    log_level = args.log_level
+    if log_level is None and args.log_json:
+        log_level = "info"
+    if log_level is not None:
+        configure_logging(log_level, json_lines=args.log_json)
+    chaos = None
+    if args.chaos:
+        from repro.chaos import ChaosPlan
+
+        chaos = ChaosPlan.from_spec(args.chaos)
+    runner = RunnerConfig(
+        parallel=args.jobs is not None and args.jobs > 1,
+        jobs=args.jobs,
+        cache_dir=_resolve_cache_dir(args),
+        engine=args.engine,
+        chaos=chaos,
+    )
+    worker = FleetWorker(
+        ServiceClient(_service_url(args)),
+        runner,
+        worker_id=args.worker_id or make_worker_id(),
+        capacity=args.capacity,
+        poll_interval_s=args.poll_interval,
+    )
+    for sig in (_signal.SIGTERM, _signal.SIGINT):
+        try:
+            _signal.signal(sig, lambda *_: worker.stop())
+        except (ValueError, OSError):
+            pass  # non-main thread: rely on --max-batches
+    print(
+        f"repro worker {worker.worker_id} pulling from "
+        f"{_service_url(args)}",
+        flush=True,
+    )
+    summary = worker.run(max_batches=args.max_batches)
+    print(
+        f"repro worker {worker.worker_id} stopped: "
+        f"{summary['executed']} executed, {summary['failed']} failed"
+        + (" (batch abandoned by chaos)" if summary["abandoned"] else ""),
+        flush=True,
+    )
+    return 0
 
 
 def _cmd_submit(args) -> int:
@@ -1060,6 +1231,19 @@ def _cmd_watch(args) -> int:
                     eta = data.get("eta_s")
                     if eta is not None:
                         line += f"  eta {eta:.0f}s"
+                    print(line, flush=True)
+                elif event.event == "span":
+                    spans = event.data.get("spans") or []
+                    names = [
+                        span.get("name", "?") for span in spans[:4]
+                    ]
+                    more = len(spans) - len(names)
+                    line = (
+                        f"span         {len(spans)} span(s): "
+                        + ", ".join(names)
+                    )
+                    if more > 0:
+                        line += f", +{more} more"
                     print(line, flush=True)
                 else:
                     detail = event.data.get("status", "")
@@ -1368,6 +1552,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "cache": _cmd_cache,
     "serve": _cmd_serve,
+    "worker": _cmd_worker,
     "submit": _cmd_submit,
     "status": _cmd_status,
     "watch": _cmd_watch,

@@ -1,0 +1,29 @@
+"""Distributed worker fleet: HTTP pull-workers over the job broker.
+
+The ROADMAP's "millions of users" architecture splits the PR 5 service
+into two tiers: one :class:`~repro.service.broker.JobBroker` dispatch
+tier and N stateless pull-workers (``repro worker``) on other nodes.
+Everything rides the content-addressed identities that already exist —
+``spec_key`` is the job id, the shard key, and the idempotency key:
+
+- :mod:`repro.fleet.ring` — a seeded consistent-hash ring over
+  ``spec_key`` with virtual nodes; worker join/leave rebalances
+  deterministically, so a given spec always lands on the same live
+  worker (warm ``.repro_cache`` locality);
+- :mod:`repro.fleet.manager` — the broker-side lease state machine:
+  ``POST /v1/fleet/lease`` hands out TTL-bounded job batches,
+  heartbeats renew them, and an expired lease requeues its job exactly
+  like the PR 8 worker-crash path;
+- :mod:`repro.fleet.worker` — the pull-worker daemon wrapping the
+  PR 8 :class:`~repro.runner.pool.SupervisedWorkerPool` behind the
+  lease loop, with graceful SIGTERM drain.
+
+The non-negotiable invariant carries over from PRs 2/7/8: results
+through the fleet are bit-identical to serial in-process execution —
+including when a worker dies mid-lease — and fleet topology never
+touches ``spec_key`` or cache fingerprints.
+"""
+
+from repro.fleet.ring import HashRing
+
+__all__ = ["HashRing"]

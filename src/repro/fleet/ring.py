@@ -1,0 +1,127 @@
+"""Seeded consistent-hash ring over ``spec_key`` shards.
+
+The fleet shards the broker's queue (and, by extension, the warm
+result-cache population) across workers by hashing each job's
+``spec_key`` onto a ring of virtual nodes.  Two properties matter:
+
+- **determinism** — the ring is a pure function of (member set, seed,
+  vnode count): every broker replica and every test computes identical
+  assignments, and a worker joining or leaving moves only the keys in
+  the vnode arcs it gains or loses (~1/N of the space), so most specs
+  keep landing on the worker whose ``.repro_cache`` is already warm;
+- **zero dependencies** — positions come from sha256 over
+  ``"{seed}:{member}#{vnode}"``, the same stdlib hashing discipline as
+  :func:`~repro.runner.fingerprint.spec_key`.
+
+The ring never sees topology the other way around: ``spec_key`` and
+cache fingerprints are computed before (and independent of) sharding,
+so fleet layout can never churn cache identity.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Optional
+
+from repro.common.errors import ConfigError
+
+#: Default virtual nodes per member: enough to keep shard imbalance
+#: under ~10% for small fleets without noticeable lookup cost.
+DEFAULT_VNODES = 64
+
+
+def _position(seed: int, label: str) -> int:
+    """Ring position in [0, 2^64) for one hashed label."""
+    digest = hashlib.sha256(
+        f"{seed}:{label}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes and seeded placement."""
+
+    def __init__(
+        self,
+        members: Optional[Iterable[str]] = None,
+        vnodes: int = DEFAULT_VNODES,
+        seed: int = 0,
+    ):
+        if vnodes < 1:
+            raise ConfigError("ring vnodes must be >= 1")
+        self.vnodes = vnodes
+        self.seed = seed
+        self._members: "set[str]" = set()
+        #: Sorted vnode positions and the member owning each, kept in
+        #: lockstep for bisect lookup.
+        self._points: "list[int]" = []
+        self._owners: "list[str]" = []
+        for member in members or ():
+            self.add(member)
+
+    @property
+    def members(self) -> "list[str]":
+        """Current members, sorted (deterministic iteration order)."""
+        return sorted(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._members
+
+    def add(self, member: str) -> bool:
+        """Insert a member's vnodes; False if already present."""
+        if not member:
+            raise ConfigError("ring member id must be non-empty")
+        if member in self._members:
+            return False
+        self._members.add(member)
+        for vnode in range(self.vnodes):
+            point = _position(self.seed, f"{member}#{vnode}")
+            index = bisect.bisect_left(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, member)
+        return True
+
+    def remove(self, member: str) -> bool:
+        """Drop a member's vnodes; False if it was not present."""
+        if member not in self._members:
+            return False
+        self._members.discard(member)
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != member
+        ]
+        self._points = [point for point, _ in keep]
+        self._owners = [owner for _, owner in keep]
+        return True
+
+    def owner(self, key: str) -> Optional[str]:
+        """The member responsible for ``key`` (None on an empty ring).
+
+        The key hashes to a ring position; the owner is the first vnode
+        clockwise from it.  Stable under insertion order — only the
+        member *set* (plus seed and vnode count) matters.
+        """
+        if not self._points:
+            return None
+        point = _position(self.seed, key)
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0  # wrap past the highest vnode
+        return self._owners[index]
+
+    def assignments(self, keys: Iterable[str]) -> "dict[str, str]":
+        """Batch ``owner`` lookup: key -> member."""
+        result: "dict[str, str]" = {}
+        for key in keys:
+            member = self.owner(key)
+            if member is not None:
+                result[key] = member
+        return result
+
+
+__all__ = ["DEFAULT_VNODES", "HashRing"]

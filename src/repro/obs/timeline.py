@@ -29,6 +29,7 @@ flag so the fault-free fast path stays free of per-event work.
 from __future__ import annotations
 
 import json
+from collections import deque
 from typing import Any, Optional
 
 from repro.common.errors import ConfigError
@@ -254,6 +255,95 @@ class TimelineRecorder(NullRecorder):
         """Serialize to ``path`` (open with Perfetto / chrome://tracing)."""
         with open(path, "w") as fh:
             json.dump(self.trace_dict(), fh)
+
+
+class SpanStream(NullRecorder):
+    """Bounded live span buffer for SSE streaming (PR 10).
+
+    Unlike :class:`TimelineRecorder` this keeps no trace document —
+    just a drop-oldest deque of small span dicts that the service (or a
+    fleet worker's heartbeat loop) drains into ``span`` SSE events
+    while the simulation is still running.  The writer side runs on the
+    executor thread and the drainer on the event loop; both sides only
+    use single deque operations, which are atomic under the GIL — the
+    same cross-thread discipline as
+    :class:`~repro.obs.progress.BufferedPublisher`.
+
+    Sampling reuses the 1-in-N per-(track, name) stream rule so a
+    hot simulation cannot flood the stream; ``dropped_spans`` counts
+    overflow evictions (never silently lost).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sample_every: int = 64,
+        max_buffered: int = 1024,
+        ns_per_cycle: float = 0.5,
+    ):
+        if sample_every < 1:
+            raise ConfigError("sample_every must be >= 1")
+        if max_buffered < 1:
+            raise ConfigError("max_buffered must be >= 1")
+        self.sample_every = sample_every
+        self.ns_per_cycle = ns_per_cycle
+        self.dropped_spans = 0
+        self._buffer: "deque[dict]" = deque(maxlen=max_buffered)
+        self._stream_seen: "dict[tuple[str, str], int]" = {}
+
+    def set_time_base(self, ns_per_cycle: float) -> None:
+        self.ns_per_cycle = ns_per_cycle
+
+    def _admit(self, track: str, name: str) -> bool:
+        stream = (track, name)
+        seen = self._stream_seen.get(stream, 0)
+        self._stream_seen[stream] = seen + 1
+        return seen % self.sample_every == 0
+
+    def span(
+        self,
+        track: str,
+        lane: int,
+        name: str,
+        start_cycles: float,
+        dur_cycles: float,
+        args: Optional[dict] = None,
+    ) -> None:
+        if not self._admit(track, name):
+            return
+        if len(self._buffer) == self._buffer.maxlen:
+            self.dropped_spans += 1  # deque evicts the oldest below
+        scale = self.ns_per_cycle / 1000.0
+        self._buffer.append(
+            {
+                "track": track,
+                "lane": lane,
+                "name": name,
+                "ts_us": start_cycles * scale,
+                "dur_us": dur_cycles * scale,
+            }
+        )
+
+    def instant(
+        self,
+        track: str,
+        lane: int,
+        name: str,
+        ts_cycles: float,
+        args: Optional[dict] = None,
+    ) -> None:
+        self.span(track, lane, name, ts_cycles, 0.0, args)
+
+    def drain(self, max_spans: int) -> "list[dict]":
+        """Pop up to ``max_spans`` oldest buffered spans (thread-safe)."""
+        out: "list[dict]" = []
+        while len(out) < max_spans:
+            try:
+                out.append(self._buffer.popleft())
+            except IndexError:
+                break
+        return out
 
 
 def validate_trace_dict(data: dict) -> None:

@@ -150,14 +150,20 @@ def simulate_spec_modes(
     spec: ExperimentSpec,
     config: RunnerConfig,
     publisher=None,
+    recorder=None,
 ) -> "dict[str, dict]":
     """Phase 2 of a job: each mode from the cache or the simulator.
 
     ``publisher`` receives live progress frames from each simulated
-    mode, relabeled ``"<job_id>/<mode>"``.  Cache keys fingerprint only
-    (trace, SystemConfig, salt), so a publisher-on run hits the exact
-    entries a publisher-off run stored — cached modes simply emit no
-    frames (nothing executes).
+    mode, relabeled ``"<job_id>/<mode>"``.  ``recorder`` (a timeline
+    recorder, e.g. a streaming
+    :class:`~repro.obs.timeline.SpanStream`) observes each simulated
+    mode; an enabled recorder routes execution through the per-event
+    reference interpreter, whose results are bit-identical by the
+    engine-equivalence contract.  Cache keys fingerprint only (trace,
+    SystemConfig, salt), so a publisher/recorder-on run hits the exact
+    entries a bare run stored — cached modes simply emit no frames or
+    spans (nothing executes).
     """
     from repro.sim.system import simulate_with_engine  # local: fork cost
 
@@ -187,8 +193,8 @@ def simulate_spec_modes(
                 else None
             )
             result, engine_info = simulate_with_engine(
-                run.trace, mode_config, engine=config.engine,
-                publisher=mode_pub,
+                run.trace, mode_config, recorder=recorder,
+                engine=config.engine, publisher=mode_pub,
             )
             payload = result.to_dict()
             engine_name = engine_info.engine
@@ -208,7 +214,10 @@ def simulate_spec_modes(
 
 
 def execute_spec(
-    spec: ExperimentSpec, config: RunnerConfig, publisher=None
+    spec: ExperimentSpec,
+    config: RunnerConfig,
+    publisher=None,
+    recorder=None,
 ) -> dict:
     """Run one job; returns a picklable payload (worker entry point).
 
@@ -221,13 +230,15 @@ def execute_spec(
     ``engine`` names the implementation that produced a freshly
     simulated mode (``None`` for cache hits, whose producing engine is
     unknowable — and irrelevant, results being bit-identical).
-    ``publisher`` streams live progress frames from simulated modes;
-    it rides the execution only and never alters the payload.
+    ``publisher`` streams live progress frames and ``recorder``
+    observes timeline spans from simulated modes; both ride the
+    execution only and never alter the payload.
     """
     started = time.perf_counter()
     run, trace_hash = trace_spec(spec, config)
     modes = simulate_spec_modes(
-        run, trace_hash, spec, config, publisher=publisher
+        run, trace_hash, spec, config, publisher=publisher,
+        recorder=recorder,
     )
     return {
         "run": run,

@@ -49,7 +49,13 @@ from pathlib import Path
 from typing import Callable, Optional
 
 from repro.common.errors import ReproError, ServiceError
-from repro.obs.logs import get_logger
+from repro.fleet.manager import FleetManager
+from repro.obs.logs import (
+    current_request_id,
+    get_logger,
+    reset_request_id,
+    set_request_id,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.progress import CallbackPublisher
 from repro.runner.cache import ResultCache
@@ -170,6 +176,14 @@ class Job:
     #: Canonical response body once terminal-with-results.
     result_bytes: Optional[bytes] = None
     execute_seconds: float = 0.0
+    #: Request id of the original submission, propagated through fleet
+    #: lease/complete calls into worker-side structured logs.
+    request_id: str = ""
+    #: Fleet worker currently holding this job's lease ("" = none).
+    lease_worker: str = ""
+    #: Involuntary lease releases this job survived (expiry / dead
+    #: worker); at MAX_LEASE_EXPIRIES the job is quarantined.
+    lease_expiries: int = 0
     done_event: asyncio.Event = field(default_factory=asyncio.Event)
 
     @property
@@ -178,7 +192,7 @@ class Job:
 
     def status_dict(self) -> dict:
         """Lightweight status view (``GET /v1/jobs/{id}`` while live)."""
-        return {
+        status = {
             "job_id": self.job_id,
             "status": self.status,
             "priority": self.priority,
@@ -188,6 +202,9 @@ class Job:
             "from_cache": self.from_cache,
             "error": self.error,
         }
+        if self.lease_worker:
+            status["worker"] = self.lease_worker
+        return status
 
 
 @dataclass
@@ -229,12 +246,15 @@ class JobBroker:
         self.registry = registry if registry is not None else MetricsRegistry()
         self._execute = execute or execute_spec
         # Tests inject two-argument execute fakes; only pass a live
-        # publisher through to callables that declare the parameter.
+        # publisher/recorder through to callables that declare the
+        # parameter.
         try:
             parameters = inspect.signature(self._execute).parameters
             self._execute_takes_publisher = "publisher" in parameters
+            self._execute_takes_recorder = "recorder" in parameters
         except (TypeError, ValueError):
             self._execute_takes_publisher = False
+            self._execute_takes_recorder = False
         self._clock = clock
         self._streams: "dict[str, _JobStream]" = {}
         self._stream_subscribers = 0
@@ -268,6 +288,9 @@ class JobBroker:
             else None
         )
         self._init_metrics()
+        #: Remote-worker tier: registry, hash-ring sharding, leases.
+        self.fleet = FleetManager(self)
+        self._fleet_task: Optional[asyncio.Task] = None
 
     # ------------------------------------------------------------------
     # Metrics
@@ -366,6 +389,7 @@ class JobBroker:
             "workers_alive": self._workers_alive,
             "worker_crashes": self._worker_crashes,
             "worker_restarts": self._worker_restarts,
+            "fleet": self.fleet.stats(),
         }
 
     async def start(self) -> None:
@@ -382,10 +406,24 @@ class JobBroker:
                 restored,
                 extra={"event": "queue_restored", "jobs": restored},
             )
-        self._workers = [
-            asyncio.ensure_future(self._supervised_worker(slot))
-            for slot in range(self.config.workers)
-        ]
+        roster = self.fleet.restore_registry()
+        if roster:
+            _log.info(
+                "restored %d fleet worker(s) from the registry journal",
+                roster,
+                extra={"event": "fleet_restored", "workers": roster},
+            )
+        # Dispatch-only mode runs no local execution slots: every job
+        # waits for a pull-worker lease.
+        self._workers = (
+            []
+            if self.config.fleet
+            else [
+                asyncio.ensure_future(self._supervised_worker(slot))
+                for slot in range(self.config.workers)
+            ]
+        )
+        self._fleet_task = asyncio.ensure_future(self.fleet.reap_loop())
         if (
             self.config.prune_interval_s > 0
             and self.config.runner.cache_dir is not None
@@ -403,6 +441,9 @@ class JobBroker:
             return 0
         self._draining = True
         assert self._cond is not None
+        # Remote leases first: their jobs rejoin the lanes (voluntary
+        # release, no expiry penalty) and get checkpointed below.
+        await self.fleet.release_all()
         checkpointed: "list[Job]" = []
         async with self._cond:
             for lane in LANES:
@@ -441,6 +482,10 @@ class JobBroker:
             self._prune_task.cancel()
             await asyncio.gather(self._prune_task, return_exceptions=True)
             self._prune_task = None
+        if self._fleet_task is not None:
+            self._fleet_task.cancel()
+            await asyncio.gather(self._fleet_task, return_exceptions=True)
+            self._fleet_task = None
         if self._pool is not None:
             self._pool.shutdown(wait=False)
         _log.info(
@@ -541,7 +586,9 @@ class JobBroker:
 
     def _active_count(self) -> int:
         return (
-            sum(len(self._lanes[lane]) for lane in LANES) + self._inflight
+            sum(len(self._lanes[lane]) for lane in LANES)
+            + self._inflight
+            + self.fleet.leased_count
         )
 
     async def submit(
@@ -617,7 +664,12 @@ class JobBroker:
                 f"({self.config.queue_capacity} jobs)",
                 retry_after_s=self.config.retry_after_s,
             )
-        job = Job(job_id=key, spec=spec, priority=priority)
+        job = Job(
+            job_id=key,
+            spec=spec,
+            priority=priority,
+            request_id=current_request_id() or "",
+        )
         self._jobs[key] = job
         assert self._cond is not None, "JobBroker.start() was not awaited"
         async with self._cond:
@@ -853,11 +905,20 @@ class JobBroker:
         call = functools.partial(
             self._execute, job.spec, self.config.runner
         )
+        job_id = job.job_id
+        recorder = None
+        if (
+            self._execute_takes_recorder
+            and self.config.stream_spans > 0
+        ):
+            from repro.obs.timeline import SpanStream
+
+            recorder = SpanStream()
+            call = functools.partial(call, recorder=recorder)
         if (
             self._execute_takes_publisher
             and self.config.stream_progress_events > 0
         ):
-            job_id = job.job_id
 
             def _frame(snapshot) -> None:
                 # Executor thread -> event loop: progress frames cross
@@ -868,6 +929,10 @@ class JobBroker:
                         self._publish_event, job_id, "progress",
                         snapshot.to_dict(),
                     )
+                    if recorder is not None:
+                        loop.call_soon_threadsafe(
+                            self._publish_spans, job_id, recorder
+                        )
                 except RuntimeError:
                     pass
 
@@ -879,6 +944,9 @@ class JobBroker:
                 ),
             )
         started = self._clock()
+        token = (
+            set_request_id(job.request_id) if job.request_id else None
+        )
         try:
             payload = await loop.run_in_executor(self._pool, call)
         except ReproError as error:
@@ -887,12 +955,60 @@ class JobBroker:
         except Exception as error:  # worker bug ≠ broker crash
             self._fail(job, f"{type(error).__name__}: {error}")
             return
-        job.execute_seconds = self._clock() - started
+        finally:
+            if recorder is not None:
+                # Flush the tail spans before any terminal event.
+                self._publish_spans(job_id, recorder, flush=True)
+            if token is not None:
+                reset_request_id(token)
+        self._finish_done(
+            job,
+            payload["trace_hash"],
+            payload["modes"],
+            execute_seconds=self._clock() - started,
+        )
+
+    def _publish_spans(
+        self, job_id: str, recorder, flush: bool = False
+    ) -> None:
+        """Drain buffered timeline spans into ``span`` SSE events.
+
+        Runs on the event loop.  Each event carries at most
+        ``stream_spans`` spans; ``flush`` empties the whole buffer in
+        bounded batches (end of execution), otherwise one batch per
+        progress frame keeps the stream paced.
+        """
+        limit = self.config.stream_spans
+        while True:
+            batch = recorder.drain(limit)
+            if not batch:
+                return
+            self._publish_event(
+                job_id,
+                "span",
+                {"job_id": job_id, "spans": batch, "count": len(batch)},
+            )
+            if not flush:
+                return
+
+    def _finish_done(
+        self,
+        job: Job,
+        trace_hash: str,
+        modes: dict,
+        execute_seconds: float = 0.0,
+    ) -> None:
+        """Terminal bookkeeping for a successful execution.
+
+        One serializer for both execution tiers: the local executor
+        path and fleet ``complete`` uploads land here, so response
+        bytes are canonical — and therefore bit-identical — no matter
+        where the simulation ran.
+        """
+        job.execute_seconds = execute_seconds
         self._m_execute.observe(job.execute_seconds)
         fallbacks = sum(
-            1
-            for entry in payload["modes"].values()
-            if entry.get("fallback")
+            1 for entry in modes.values() if entry.get("fallback")
         )
         if fallbacks:
             self._m_engine_fallbacks.inc(fallbacks)
@@ -902,14 +1018,14 @@ class JobBroker:
             "status": "done",
             "workload": job.spec.workload,
             "scale": job.spec.scale,
-            "trace_hash": payload["trace_hash"],
+            "trace_hash": trace_hash,
             "results": {
                 label: entry["payload"]
-                for label, entry in payload["modes"].items()
+                for label, entry in modes.items()
             },
             "cached_modes": {
-                label: entry["cached"]
-                for label, entry in payload["modes"].items()
+                label: bool(entry.get("cached"))
+                for label, entry in modes.items()
             },
         }
         job.result_bytes = canonical_json(body)
@@ -933,6 +1049,21 @@ class JobBroker:
                 "coalesced": job.coalesced,
             },
         )
+
+    def _remove_from_lanes(self, job: Job) -> None:
+        """Pull a job out of its lane, wherever it sits (idempotent).
+
+        Used when a result arrives for a job that was requeued after a
+        lease expiry: accepting the late upload must also stop the job
+        from executing a second time.
+        """
+        for lane in LANES:
+            try:
+                self._lanes[lane].remove(job)
+            except ValueError:
+                continue
+            self._sync_depth()
+            return
 
     def _fail(self, job: Job, message: str) -> None:
         job.status = "failed"

@@ -141,6 +141,7 @@ class ServiceClient:
         method: str,
         path: str,
         body: Optional[dict] = None,
+        request_id: str = "",
     ) -> "tuple[int, dict[str, str], bytes]":
         payload = (
             json.dumps(body).encode("utf-8") if body is not None else None
@@ -150,6 +151,10 @@ class ServiceClient:
             headers["Content-Type"] = "application/json"
         if self.client_id:
             headers["X-Client-Id"] = self.client_id
+        if request_id:
+            # Correlation id: the server echoes it, binds its logs to
+            # it, and carries it with the job through lease/complete.
+            headers["X-Request-Id"] = request_id
         conn = http.client.HTTPConnection(
             self._host, self._port, timeout=self.timeout_s
         )
@@ -196,6 +201,7 @@ class ServiceClient:
         faults: Optional[str] = None,
         spec: Optional[ExperimentSpec] = None,
         priority: str = "interactive",
+        request_id: str = "",
     ) -> SubmitTicket:
         """Submit one experiment; returns the admission ticket.
 
@@ -224,7 +230,9 @@ class ServiceClient:
                 body["params"] = params
             if faults:
                 body["faults"] = faults
-        code, headers, data = self._request("POST", "/v1/jobs", body)
+        code, headers, data = self._request(
+            "POST", "/v1/jobs", body, request_id=request_id
+        )
         parsed = self._json(data)
         if code in (429, 503):
             raise ClientBackpressureError(
@@ -416,6 +424,84 @@ class ServiceClient:
         return self.wait(
             ticket.job_id,
             timeout_s=max(deadline - time.monotonic(), 0.1),
+        )
+
+    # ------------------------------------------------------------------
+    # Fleet protocol (used by the ``repro worker`` daemon)
+    # ------------------------------------------------------------------
+
+    def _fleet_post(
+        self, action: str, body: dict, request_id: str = ""
+    ) -> dict:
+        code, _headers, data = self._request(
+            "POST", f"/v1/fleet/{action}", body, request_id=request_id
+        )
+        parsed = self._json(data)
+        if code == 503:
+            raise ClientBackpressureError(
+                parsed.get("error", "service is draining"),
+                reason=parsed.get("reason", "draining"),
+                retry_after_s=float(parsed.get("retry_after_s", 1.0)),
+            )
+        if code != 200:
+            raise ServiceError(
+                f"fleet {action} answered HTTP {code}: "
+                f"{parsed.get('error', '')}"
+            )
+        return parsed
+
+    def fleet_register(
+        self, worker_id: str, capacity: int = 1
+    ) -> dict:
+        """Join the fleet; returns lease TTL and heartbeat cadence."""
+        return self._fleet_post(
+            "register",
+            {"worker_id": worker_id, "capacity": capacity},
+        )
+
+    def fleet_lease(self, worker_id: str, max_jobs: int = 1) -> dict:
+        """Pull up to ``max_jobs`` queued jobs from this shard."""
+        return self._fleet_post(
+            "lease", {"worker_id": worker_id, "max_jobs": max_jobs}
+        )
+
+    def fleet_heartbeat(
+        self,
+        worker_id: str,
+        jobs: "list[str]",
+        frames: Optional["list[dict]"] = None,
+        spans: Optional["list[dict]"] = None,
+    ) -> dict:
+        """Renew leases; piggyback progress frames and span batches."""
+        body: "dict[str, Any]" = {
+            "worker_id": worker_id,
+            "jobs": list(jobs),
+        }
+        if frames:
+            body["frames"] = frames
+        if spans:
+            body["spans"] = spans
+        return self._fleet_post("heartbeat", body)
+
+    def fleet_complete(
+        self,
+        worker_id: str,
+        job_id: str,
+        body: dict,
+        request_id: str = "",
+    ) -> dict:
+        """Upload one result (idempotent by ``spec_key``)."""
+        payload = dict(body)
+        payload["worker_id"] = worker_id
+        payload["job_id"] = job_id
+        return self._fleet_post(
+            "complete", payload, request_id=request_id
+        )
+
+    def fleet_deregister(self, worker_id: str) -> dict:
+        """Graceful leave; the broker requeues any held leases."""
+        return self._fleet_post(
+            "deregister", {"worker_id": worker_id}
         )
 
     # ------------------------------------------------------------------

@@ -95,6 +95,34 @@ class ServiceConfig:
         for service executions.  0 disables live progress frames —
         lifecycle events (queued/running/done/failed) still stream.
         Observability only: never part of cache identity.
+    stream_spans:
+        Bound on timeline spans piggybacked per ``span`` SSE event
+        (``GET /v1/jobs/{id}/events``).  0 (the default) disables span
+        streaming entirely.  Enabling it attaches a live recorder to
+        simulated modes, which routes them through the per-event
+        reference interpreter — results stay bit-identical by the
+        engine-equivalence contract, and like every obs knob this never
+        enters cache identity.
+    fleet:
+        Dispatch-only mode (``repro serve --fleet``): the broker runs
+        no local execution slots; every admitted job waits for a
+        ``repro worker`` pull-worker to lease it.  ``/readyz`` answers
+        503 until at least one registered worker has a fresh heartbeat.
+    fleet_lease_ttl_s:
+        Lease validity window.  A worker must renew (heartbeat) within
+        it or the job is requeued for redispatch, exactly like the
+        PR 8 worker-crash path.
+    fleet_lease_jobs:
+        Server-side cap on jobs handed out per ``/v1/fleet/lease``
+        call, whatever batch size the worker asks for.
+    fleet_worker_timeout_s:
+        Registered-worker liveness horizon: a worker silent for longer
+        is expired from the hash ring (its leases requeue, its shard
+        rebalances deterministically onto the survivors).
+    fleet_ring_vnodes / fleet_ring_seed:
+        Virtual-node count and placement seed of the ``spec_key``
+        consistent-hash ring.  Topology-only: sharding never touches
+        ``spec_key`` or cache fingerprints.
     """
 
     host: str = "127.0.0.1"
@@ -114,6 +142,13 @@ class ServiceConfig:
     stream_queue_size: int = 64
     stream_heartbeat_s: float = 10.0
     stream_progress_events: int = 20_000
+    stream_spans: int = 0
+    fleet: bool = False
+    fleet_lease_ttl_s: float = 15.0
+    fleet_lease_jobs: int = 4
+    fleet_worker_timeout_s: float = 45.0
+    fleet_ring_vnodes: int = 64
+    fleet_ring_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -140,6 +175,18 @@ class ServiceConfig:
             raise ConfigError(
                 "service stream_progress_events must be >= 0"
             )
+        if self.stream_spans < 0:
+            raise ConfigError("service stream_spans must be >= 0")
+        if self.fleet_lease_ttl_s <= 0:
+            raise ConfigError("service fleet_lease_ttl_s must be > 0")
+        if self.fleet_lease_jobs < 1:
+            raise ConfigError("service fleet_lease_jobs must be >= 1")
+        if self.fleet_worker_timeout_s <= 0:
+            raise ConfigError(
+                "service fleet_worker_timeout_s must be > 0"
+            )
+        if self.fleet_ring_vnodes < 1:
+            raise ConfigError("service fleet_ring_vnodes must be >= 1")
 
     @property
     def max_cache_bytes(self) -> int:

@@ -15,16 +15,25 @@ connection, ``Connection: close``) exposing:
   job's lifecycle (``queued`` → ``running`` → ``progress``* →
   ``done``/``failed``) with ``Last-Event-ID`` replay from a bounded
   per-job ring and ``: heartbeat`` comments on idle streams;
+- ``POST /v1/fleet/{register,lease,heartbeat,complete,deregister}`` —
+  the pull-worker protocol (PR 10): workers lease job batches from
+  their ``spec_key`` shard, renew under a TTL (piggybacking progress
+  frames and span batches into the SSE streams), and upload canonical
+  results idempotently;
 - ``GET /healthz`` (liveness + broker stats), ``GET /readyz``
-  (503 while draining or when every worker slot has crashed past its
-  restart budget — load balancers stop routing here first);
+  (503 while draining, or when nothing can execute — every local
+  worker slot crashed past its restart budget *and* no fleet worker
+  has a fresh heartbeat — so load balancers stop routing here first);
 - ``GET /metrics`` — the service :class:`MetricsRegistry` rendered in
   Prometheus text format.
 
 Every request gets an ``X-Request-Id`` echoed in the response and
 bound via :func:`repro.obs.logs.request_id_context`, so all log lines
 a request produced — HTTP layer, broker, runner — correlate on one
-``request_id`` field.
+``request_id`` field.  Callers may supply their own via the
+``X-Request-Id`` header; the id a submission carried travels with the
+job through lease and complete, so worker-side log lines correlate
+with the original submit.
 """
 
 from __future__ import annotations
@@ -78,6 +87,23 @@ _MODE_CTORS = {
     "upei": SystemConfig.upei,
     "graphpim": SystemConfig.graphpim,
 }
+
+#: Characters allowed in a caller-supplied ``X-Request-Id`` (anything
+#: else falls back to a generated id — header values land in response
+#: headers and log lines, so they are strictly whitelisted).
+_REQUEST_ID_SAFE = frozenset(
+    "abcdefghijklmnopqrstuvwxyz"
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
+)
+
+
+def sanitize_request_id(raw: str) -> str:
+    """A caller-supplied request id, or ``""`` when unusable."""
+    if not raw or len(raw) > 64:
+        return ""
+    if not all(ch in _REQUEST_ID_SAFE for ch in raw):
+        return ""
+    return raw
 
 
 def spec_from_request(body: dict) -> ExperimentSpec:
@@ -202,10 +228,17 @@ class ServiceServer:
         route = "unparsed"
         code = 0  # 0 = no response written (empty connection)
         try:
+            method, path, headers = await self._read_head(reader)
+            if method is None:
+                return  # client closed without sending a request
+            # Honor a caller-supplied correlation id: the same
+            # request_id then spans client, HTTP layer, broker, and
+            # (through lease/complete) the worker that executed it.
+            request_id = (
+                sanitize_request_id(headers.get("x-request-id", ""))
+                or request_id
+            )
             with request_id_context(request_id):
-                method, path, headers = await self._read_head(reader)
-                if method is None:
-                    return  # client closed without sending a request
                 bare = path.split("?", 1)[0]
                 if (
                     method == "GET"
@@ -343,18 +376,33 @@ class ServiceServer:
                      f"{self.config.retry_after_s:g}"},
                 )
             stats = self.broker.stats()
-            if stats["workers"] and not stats["workers_alive"]:
-                # Every worker slot crashed past its restart budget:
-                # queued jobs would never execute, so stop admitting.
+            fleet = stats.get("fleet", {})
+            local_alive = stats["workers_alive"]
+            fleet_alive = fleet.get("workers_alive", 0)
+            # Degraded = nothing can execute: every local worker slot
+            # crashed past its restart budget (or dispatch-only mode
+            # runs none) AND no fleet worker has a fresh heartbeat.
+            # Queued jobs would never run, so stop admitting.
+            nothing_local = not local_alive and (
+                stats["workers"] or self.config.fleet
+            )
+            if nothing_local and not fleet_alive:
                 return (
                     "/readyz", 503,
                     {"status": "degraded",
                      "workers_alive": 0,
+                     "fleet_workers_alive": 0,
                      "worker_crashes": stats["worker_crashes"]},
                     {"Retry-After":
                      f"{self.config.retry_after_s:g}"},
                 )
-            return "/readyz", 200, {"status": "ready"}, {}
+            return (
+                "/readyz", 200,
+                {"status": "ready",
+                 "workers_alive": local_alive,
+                 "fleet_workers_alive": fleet_alive},
+                {},
+            )
         if path == "/metrics" and method == "GET":
             text = render_prometheus(self.registry.snapshot())
             return (
@@ -372,6 +420,11 @@ class ServiceServer:
                         "POST /v1/jobs",
                         "GET /v1/jobs/{id}",
                         "GET /v1/jobs/{id}/events",
+                        "POST /v1/fleet/register",
+                        "POST /v1/fleet/lease",
+                        "POST /v1/fleet/heartbeat",
+                        "POST /v1/fleet/complete",
+                        "POST /v1/fleet/deregister",
                         "GET /healthz",
                         "GET /readyz",
                         "GET /metrics",
@@ -385,7 +438,75 @@ class ServiceServer:
             return await self._submit(body)
         if path.startswith("/v1/jobs/") and method == "GET":
             return self._job_status(path[len("/v1/jobs/"):])
+        if path.startswith("/v1/fleet/"):
+            return await self._fleet(method, path, body)
         return path, 404, {"error": f"no route for {method} {path}"}, {}
+
+    async def _fleet(self, method: str, path: str, body: bytes):
+        """The pull-worker protocol (all POST, all JSON bodies)."""
+        route = path
+        if method != "POST":
+            return route, 405, {"error": "POST only"}, {}
+        try:
+            parsed = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return (
+                route, 400,
+                {"error": f"invalid JSON body: {error}"}, {},
+            )
+        if not isinstance(parsed, dict):
+            return (
+                route, 400,
+                {"error": "request body must be a JSON object"}, {},
+            )
+        worker_id = str(parsed.get("worker_id") or "")
+        if not worker_id or len(worker_id) > 128:
+            return (
+                route, 400,
+                {"error": 'fleet request needs "worker_id"'}, {},
+            )
+        fleet = self.broker.fleet
+        action = path[len("/v1/fleet/"):]
+        if action == "register":
+            if self.broker.draining:
+                return (
+                    route, 503, {"error": "service is draining"},
+                    {"Retry-After": f"{self.config.retry_after_s:g}"},
+                )
+            capacity = int(parsed.get("capacity", 1) or 1)
+            return route, 200, fleet.register(worker_id, capacity), {}
+        if action == "lease":
+            max_jobs = int(parsed.get("max_jobs", 1) or 1)
+            return route, 200, fleet.lease(worker_id, max_jobs), {}
+        if action == "heartbeat":
+            jobs = parsed.get("jobs") or []
+            if not isinstance(jobs, list):
+                return (
+                    route, 400, {"error": '"jobs" must be a list'}, {},
+                )
+            payload = fleet.heartbeat(
+                worker_id,
+                [str(job_id) for job_id in jobs],
+                frames=parsed.get("frames"),
+                spans=parsed.get("spans"),
+            )
+            return route, 200, payload, {}
+        if action == "complete":
+            job_id = str(parsed.get("job_id") or "")
+            if not job_id:
+                return (
+                    route, 400,
+                    {"error": 'complete needs "job_id"'}, {},
+                )
+            return (
+                route, 200, fleet.complete(worker_id, job_id, parsed),
+                {},
+            )
+        if action == "deregister":
+            return route, 200, await fleet.deregister(worker_id), {}
+        return (
+            route, 404, {"error": f"no fleet action {action!r}"}, {}
+        )
 
     async def _submit(self, body: bytes):
         try:
@@ -685,6 +806,7 @@ __all__ = [
     "REQUEST_SECONDS_BUCKETS",
     "ServiceServer",
     "ThreadedServer",
+    "sanitize_request_id",
     "serve_async",
     "spec_from_request",
 ]
